@@ -1,0 +1,210 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every table and figure of the paper's evaluation section has a harness in
+this directory (see DESIGN.md section 3 for the index).  Each harness
+
+* builds the paper's workload at a sequence of (scaled-down) problem sizes,
+* runs the solvers the corresponding table compares,
+* prints rows in the same layout as the paper (N, t_f, t_s, mem, relres),
+  reporting both *measured* Python/NumPy times and *modeled* device times
+  from the kernel-trace performance model, and
+* appends its rows to ``benchmarks/results/<name>.json`` so that
+  EXPERIMENTS.md can be regenerated from the recorded data.
+
+The pytest-benchmark fixture is used to time the core factorize/solve calls
+at one representative size per harness; the sweep rows are measured with
+``time.perf_counter`` because pytest-benchmark's repetition model is too
+expensive for full table sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import (
+    BlockSparseSolver,
+    HODLRlibStyleSolver,
+    HODLRMatrix,
+    HODLRSolver,
+    PerformanceModel,
+)
+from repro.backends.device import CPU_XEON_6254_DUAL, GPU_V100
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: ready-made device models matching the paper's hardware roles
+GPU_MODEL = PerformanceModel(device=GPU_V100)
+CPU_MODEL = PerformanceModel(device=CPU_XEON_6254_DUAL, link=None)
+
+
+@dataclass
+class SolverRow:
+    """One solver's entry in a table row (factor time, solve time, memory)."""
+
+    tf: float
+    ts: float
+    mem_gb: float
+    modeled_tf: Optional[float] = None
+    modeled_ts: Optional[float] = None
+
+
+@dataclass
+class TableRow:
+    """One problem size of one experiment."""
+
+    experiment: str
+    n: int
+    relres: float
+    solvers: Dict[str, SolverRow] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "n": self.n,
+            "relres": self.relres,
+            "solvers": {k: asdict(v) for k, v in self.solvers.items()},
+            "extra": self.extra,
+        }
+
+
+def save_rows(name: str, rows: List[TableRow]) -> str:
+    """Persist harness output under ``benchmarks/results`` (one JSON per harness)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump([r.as_dict() for r in rows], fh, indent=2)
+    return path
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Return ``(result, elapsed_seconds)``."""
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# solver runners shared by the table harnesses
+# ----------------------------------------------------------------------
+def run_gpu_hodlr(hodlr: HODLRMatrix, b: np.ndarray, dtype=None):
+    """The paper's GPU HODLR solver: batched schedule + V100 performance model.
+
+    Returns ``(SolverRow, solution, solver)`` so callers can compute residuals
+    and reuse the factorization.
+    """
+    solver = HODLRSolver(hodlr, variant="batched", dtype=dtype)
+    _, tf = timed(solver.factorize)
+    x, ts = timed(solver.solve, b if dtype is None else b.astype(dtype))
+    est = solver.modeled_times(GPU_MODEL)
+    row = SolverRow(
+        tf=tf,
+        ts=ts,
+        mem_gb=solver.memory_gb,
+        modeled_tf=est["factorization"].total_time,
+        modeled_ts=est["solution"].total_time,
+    )
+    return row, x, solver
+
+
+def run_serial_hodlr(hodlr: HODLRMatrix, b: np.ndarray) -> SolverRow:
+    """The 'Serial HODLR Solver' column: per-node recursion, single-core cost model."""
+    solver = HODLRlibStyleSolver(hodlr=hodlr, parallel=False)
+    _, tf = timed(solver.factorize)
+    _, ts = timed(solver.solve, b)
+    return SolverRow(
+        tf=tf,
+        ts=ts,
+        mem_gb=solver.memory_gb,
+        modeled_tf=solver.modeled_factor_time(),
+        modeled_ts=solver.modeled_solve_time(),
+    )
+
+
+def run_hodlrlib_parallel(hodlr: HODLRMatrix, b: np.ndarray) -> SolverRow:
+    """The 'HODLRlib' column of Table III: per-node recursion, 36-thread level parallelism."""
+    solver = HODLRlibStyleSolver(hodlr=hodlr, parallel=True)
+    _, tf = timed(solver.factorize)
+    _, ts = timed(solver.solve, b)
+    return SolverRow(
+        tf=tf,
+        ts=ts,
+        mem_gb=solver.memory_gb,
+        modeled_tf=solver.modeled_factor_time(),
+        modeled_ts=solver.modeled_solve_time(),
+    )
+
+
+def run_block_sparse(
+    hodlr: HODLRMatrix, b: np.ndarray, symbolic_overhead_factor: float = 2.2
+) -> Dict[str, SolverRow]:
+    """The 'Serial / Parallel Block-Sparse Solver' columns (Ho-Greengard embedding).
+
+    ``symbolic_overhead_factor`` controls the analysis-phase cost of the
+    modeled parallel solver: ≈2 reproduces the Laplace-problem regime where
+    the parallel factorization is slower than the serial one, a small value
+    the Helmholtz regime where it is faster (see
+    :meth:`repro.baselines.block_sparse.BlockSparseSolver.modeled_parallel_times`).
+    """
+    solver = BlockSparseSolver(hodlr=hodlr)
+    _, tf = timed(solver.factorize)
+    _, ts = timed(solver.solve, b)
+    ser_tf, ser_ts = solver.modeled_serial_times()
+    par_tf, par_ts = solver.modeled_parallel_times(
+        symbolic_overhead_factor=symbolic_overhead_factor
+    )
+    serial = SolverRow(tf=tf, ts=ts, mem_gb=solver.memory_gb, modeled_tf=ser_tf, modeled_ts=ser_ts)
+    parallel = SolverRow(
+        tf=tf, ts=ts, mem_gb=solver.memory_gb * 2.0, modeled_tf=par_tf, modeled_ts=par_ts
+    )
+    return {"serial_block_sparse": serial, "parallel_block_sparse": parallel}
+
+
+# ----------------------------------------------------------------------
+# pretty printing
+# ----------------------------------------------------------------------
+def print_table(title: str, rows: List[TableRow], solver_order: List[str]) -> None:
+    print(f"\n{'=' * 100}")
+    print(title)
+    print(f"{'=' * 100}")
+    header = f"{'N':>10} "
+    for name in solver_order:
+        header += f"| {name + ' tf':>16} {name + ' ts':>16} "
+    header += f"| {'mem (GB)':>9} | {'relres':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        line = f"{row.n:>10} "
+        mem = 0.0
+        for name in solver_order:
+            entry = row.solvers.get(name)
+            if entry is None:
+                line += f"| {'-':>16} {'-':>16} "
+                continue
+            tf = entry.modeled_tf if entry.modeled_tf is not None else entry.tf
+            ts = entry.modeled_ts if entry.modeled_ts is not None else entry.ts
+            line += f"| {tf:>16.3e} {ts:>16.3e} "
+            if name == "gpu_hodlr":
+                mem = entry.mem_gb
+        line += f"| {mem:>9.3f} | {row.relres:>9.2e}"
+        print(line)
+    print()
+
+
+def print_scaling_check(rows: List[TableRow], solver: str, what: str = "modeled_tf") -> None:
+    """Print consecutive-size growth factors (the near-linear-scaling check of the figures)."""
+    if len(rows) < 2:
+        return
+    print(f"scaling of {solver}.{what} (growth factor per 2x in N; ~2 means near-linear):")
+    for prev, cur in zip(rows[:-1], rows[1:]):
+        a = getattr(prev.solvers[solver], what)
+        b = getattr(cur.solvers[solver], what)
+        if a and b:
+            print(f"  N {prev.n:>8} -> {cur.n:>8}: x{b / a:5.2f}")
+    print()

@@ -1,0 +1,14 @@
+"""Pytest configuration for the benchmark harnesses.
+
+Having a ``conftest.py`` here makes pytest add this directory to ``sys.path``
+so the harness modules can import the shared :mod:`common` helpers, and it
+provides a session-scoped RNG fixture so all harnesses use the same seeds.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(20220812)  # the paper's arXiv date, for flavour

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sparse elliptic PDEs: HODLR-compressed separator Schur complements.
+
+The third application of the paper's introduction: sparse direct solvers
+for discretized elliptic PDEs spend most of their time on the dense Schur
+complements of the separator fronts, and those Schur complements are
+rank-structured.  This example runs the full pipeline on a 2-D
+variable-coefficient Poisson problem:
+
+1. assemble the 5-point finite-difference operator,
+2. order the unknowns as [left interior, right interior, separator] (one
+   level of nested dissection),
+3. form the separator Schur complement *matrix-free* and compress it with
+   the peeling algorithm (only ~2(r + p) operator applications),
+4. factorize the compressed Schur complement with the batched HODLR solver,
+5. solve the full sparse system by block elimination and verify against a
+   manufactured solution and against SuperLU.
+
+Run with:  python examples/elliptic_schur_complement.py
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro import RegularGrid2D, SchurComplementSolver, poisson_manufactured_solution
+
+
+def main() -> None:
+    # a stretched grid: long separator (129 points) to make the Schur complement interesting
+    grid = RegularGrid2D(nx=63, ny=129)
+    print(f"grid                   : {grid.nx} x {grid.ny} = {grid.num_points} unknowns")
+    left, right, sep = grid.separator_partition()
+    print(f"partition              : {left.size} + {right.size} interior, {sep.size} separator")
+
+    def diffusion(x, y):
+        return 1.0 + 0.8 * np.sin(2 * np.pi * x) * np.sin(np.pi * y) ** 2
+
+    solver = SchurComplementSolver(
+        grid=grid, a=diffusion, b=0.1, tol=1e-10, rank=28, leaf_size=16
+    ).build()
+    print(f"Schur complement size  : {sep.size} x {sep.size}")
+    print(f"Schur HODLR ranks      : {solver.schur_rank_profile()}")
+    print(f"Schur HODLR memory     : {solver.hodlr_schur.nbytes / 1e6:.2f} MB "
+          f"(dense would be {8 * sep.size ** 2 / 1e6:.2f} MB)")
+
+    # manufactured solution check
+    u_exact, f = poisson_manufactured_solution(grid, a=diffusion, b=0.1)
+    u = solver.solve(f)
+    err = np.linalg.norm(u - u_exact) / np.linalg.norm(u_exact)
+    print(f"error vs manufactured  : {err:.2e}")
+    print(f"residual               : {solver.residual(u, f):.2e}")
+
+    # cross-check against a black-box sparse direct solve
+    u_ref = spla.spsolve(solver.A.tocsc(), f)
+    print(f"difference vs SuperLU  : {np.linalg.norm(u - u_ref) / np.linalg.norm(u_ref):.2e}")
+
+    # how compressible was the Schur complement?
+    S = solver.dense_schur()
+    s = np.linalg.svd(S[: sep.size // 2, sep.size // 2 :], compute_uv=False)
+    eps_rank = int(np.sum(s > 1e-10 * s[0]))
+    print(f"off-diagonal eps-rank  : {eps_rank} (block size {sep.size // 2})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Gaussian-process regression with HODLR-accelerated covariance algebra.
+
+The paper's introduction lists kernel methods in machine learning as the
+first application of HODLR solvers (following Ambikasaran et al., "Fast
+direct methods for Gaussian processes").  A GP regression needs, for the
+kernel matrix ``K + sigma_n^2 I``:
+
+* solves against the training targets (posterior mean),
+* solves against test-kernel columns (posterior variance),
+* the log-determinant (marginal likelihood, hyper-parameter selection),
+* samples from the prior/posterior (via the symmetric factorization).
+
+All four are near-linear with the HODLR factorization; this example fits a
+1-D GP to noisy observations and reports the marginal likelihood computed
+both exactly (dense Cholesky) and through the HODLR factorization.
+
+Run with:  python examples/gaussian_process_regression.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterTree,
+    HODLRSolver,
+    MaternKernel,
+    SymmetricFactorization,
+    build_hodlr,
+)
+
+
+def true_function(x: np.ndarray) -> np.ndarray:
+    return np.sin(6.0 * x) + 0.5 * np.cos(17.0 * x) * x
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+
+    # --- training data ---------------------------------------------------------
+    n_train = 3000
+    noise_std = 0.05
+    x_train = np.sort(rng.uniform(0.0, 1.0, n_train))
+    y_train = true_function(x_train) + noise_std * rng.standard_normal(n_train)
+
+    kernel = MaternKernel(lengthscale=0.08, nu=1.5)
+    print(f"training points        : {n_train}")
+    print(f"kernel                 : Matern(nu=1.5, l={kernel.lengthscale})")
+
+    # --- HODLR compression of K + sigma_n^2 I -----------------------------------
+    def covariance_entries(rows, cols):
+        block = kernel(x_train[rows].reshape(-1, 1), x_train[cols].reshape(-1, 1))
+        return block + (noise_std ** 2) * (rows[:, None] == cols[None, :])
+
+    tree = ClusterTree.balanced(n_train, leaf_size=64)
+    hodlr = build_hodlr(covariance_entries, tree, tol=1e-8, method="rook")
+    print(f"off-diagonal ranks     : {hodlr.rank_profile()}")
+    print(f"HODLR memory           : {hodlr.nbytes / 1e6:.1f} MB "
+          f"(dense: {8 * n_train ** 2 / 1e6:.1f} MB)")
+
+    solver = HODLRSolver(hodlr, variant="batched").factorize()
+
+    # --- posterior mean at test points -------------------------------------------
+    x_test = np.linspace(0.0, 1.0, 400)
+    K_star = kernel(x_test.reshape(-1, 1), x_train.reshape(-1, 1))
+    alpha = solver.solve(y_train)
+    mean = K_star @ alpha
+    rmse = float(np.sqrt(np.mean((mean - true_function(x_test)) ** 2)))
+    print(f"posterior-mean RMSE    : {rmse:.4f} (noise level {noise_std})")
+
+    # --- marginal likelihood -------------------------------------------------------
+    # log p(y) = -1/2 y^T alpha - 1/2 log det(K + s^2 I) - n/2 log(2 pi)
+    logdet = solver.logdet()
+    loglik = -0.5 * float(y_train @ alpha) - 0.5 * logdet - 0.5 * n_train * np.log(2 * np.pi)
+    print(f"log det (HODLR)        : {logdet:.4f}")
+    print(f"log marginal likelihood: {loglik:.2f}")
+
+    # dense cross-check on a subsample (full dense Cholesky at n=3000 is still fine)
+    K_dense = kernel(x_train.reshape(-1, 1), x_train.reshape(-1, 1)) + noise_std ** 2 * np.eye(
+        n_train
+    )
+    sign, logdet_ref = np.linalg.slogdet(K_dense)
+    print(f"log det (dense)        : {logdet_ref:.4f}  "
+          f"(difference {abs(logdet - logdet_ref):.2e})")
+
+    # --- posterior sampling via the symmetric factorization -------------------------
+    sym = SymmetricFactorization(hodlr=hodlr).factorize()
+    prior_samples = sym.sample(rng, num_samples=3)
+    print(f"prior samples          : {prior_samples.shape} "
+          f"(std ~ {prior_samples.std():.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""repro — HODLR fast direct solver with batched (GPU-style) factorization.
+
+A from-scratch Python reproduction of
+
+    Chao Chen and Per-Gunnar Martinsson,
+    "Solving Linear Systems on a GPU with Hierarchically Off-Diagonal
+    Low-Rank Approximations", SC 2022 (arXiv:2208.06290).
+
+The package contains the paper's primary contribution — the concatenated
+``Ubig``/``Vbig``/``Dbig``/``Kbig`` data layout and the level-batched
+factorization and solve algorithms (Algorithms 1-4) — together with every
+substrate its evaluation depends on: cluster trees, low-rank compression
+(SVD / rook-pivoted cross approximation / randomized / proxy surface),
+kernel matrices (RPY, Gaussian, Matern), 2-D boundary integral equations
+(Laplace double layer, Helmholtz combined field, Kapur-Rokhlin quadrature),
+the HODLRlib-style recursive CPU baseline, the Ho-Greengard block-sparse
+baseline, a batched dense linear-algebra backend with kernel tracing, and
+an analytic GPU/CPU performance model used in place of the paper's V100
+testbed (see DESIGN.md for the substitution rationale).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import ClusterTree, build_hodlr, HODLRSolver
+>>> rng = np.random.default_rng(0)
+>>> # a small synthetic HODLR-compressible matrix
+>>> n = 512
+>>> x = np.sort(rng.uniform(0, 1, n))
+>>> A = 1.0 / (1.0 + 50.0 * np.abs(x[:, None] - x[None, :])) + n * np.eye(n)
+>>> tree = ClusterTree.balanced(n, leaf_size=64)
+>>> H = build_hodlr(A, tree, tol=1e-10, method="svd")
+>>> solver = HODLRSolver(H, variant="batched").factorize()
+>>> b = rng.standard_normal(n)
+>>> xsol = solver.solve(b)
+>>> float(np.linalg.norm(A @ xsol - b) / np.linalg.norm(b)) < 1e-8
+True
+"""
+
+from .core.cluster_tree import ClusterTree, TreeNode
+from .core.low_rank import LowRankFactor
+from .core.compression import (
+    CompressionConfig,
+    compress_block,
+    svd_compress,
+    rook_pivot_compress,
+    randomized_compress,
+)
+from .core.hodlr import HODLRMatrix, build_hodlr, build_hodlr_from_dense
+from .core.bigdata import BigMatrices
+from .core.factor_recursive import RecursiveFactorization
+from .core.factor_flat import FlatFactorization
+from .core.factor_batched import BatchedFactorization
+from .core.solver import HODLRSolver
+from .core.spd import SymmetricFactorization
+from .core.preconditioner import HODLRPreconditioner, gmres_with_hodlr, cg_with_hodlr
+from .core import arithmetic
+from .core.peeling import peel_hodlr
+
+from .backends.batched import BatchedBackend
+from .backends.memory import DeviceMemoryTracker, hodlr_device_footprint, max_problem_size
+from .backends.counters import get_recorder
+from .backends.device import GPU_V100, CPU_XEON_6254_DUAL, PCIE3_X16, DeviceSpec
+from .backends.perfmodel import PerformanceModel
+
+from .kernels.kernel_matrix import KernelMatrix
+from .kernels.radial import GaussianKernel, MaternKernel, ExponentialKernel
+from .kernels.rpy import RPYKernel
+
+from .bie.contour import StarContour, EllipseContour
+from .bie.laplace_bie import LaplaceDoubleLayerBIE, laplace_dirichlet_reference
+from .bie.helmholtz_bie import HelmholtzCombinedBIE, helmholtz_dirichlet_reference
+from .bie.proxy import ProxyCompressionConfig, build_hodlr_proxy
+
+from .baselines.dense_lu import DenseLUSolver
+from .baselines.hodlrlib_cpu import HODLRlibStyleSolver
+from .baselines.block_sparse import BlockSparseSolver
+
+from .elliptic.grid import RegularGrid2D
+from .elliptic.poisson import assemble_poisson_2d, poisson_manufactured_solution
+from .elliptic.schur import SchurComplementSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "ClusterTree",
+    "TreeNode",
+    "LowRankFactor",
+    "CompressionConfig",
+    "compress_block",
+    "svd_compress",
+    "rook_pivot_compress",
+    "randomized_compress",
+    "HODLRMatrix",
+    "build_hodlr",
+    "build_hodlr_from_dense",
+    "BigMatrices",
+    "RecursiveFactorization",
+    "FlatFactorization",
+    "BatchedFactorization",
+    "HODLRSolver",
+    "SymmetricFactorization",
+    "HODLRPreconditioner",
+    "gmres_with_hodlr",
+    "cg_with_hodlr",
+    "arithmetic",
+    "peel_hodlr",
+    # backends
+    "BatchedBackend",
+    "DeviceMemoryTracker",
+    "hodlr_device_footprint",
+    "max_problem_size",
+    "get_recorder",
+    "GPU_V100",
+    "CPU_XEON_6254_DUAL",
+    "PCIE3_X16",
+    "DeviceSpec",
+    "PerformanceModel",
+    # kernels
+    "KernelMatrix",
+    "GaussianKernel",
+    "MaternKernel",
+    "ExponentialKernel",
+    "RPYKernel",
+    # BIE
+    "StarContour",
+    "EllipseContour",
+    "LaplaceDoubleLayerBIE",
+    "laplace_dirichlet_reference",
+    "HelmholtzCombinedBIE",
+    "helmholtz_dirichlet_reference",
+    "ProxyCompressionConfig",
+    "build_hodlr_proxy",
+    # baselines
+    "DenseLUSolver",
+    "HODLRlibStyleSolver",
+    "BlockSparseSolver",
+    # elliptic PDE substrate
+    "RegularGrid2D",
+    "assemble_poisson_2d",
+    "poisson_manufactured_solution",
+    "SchurComplementSolver",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Complexity formulas, rank profiling, and accuracy metrics.
+
+* :mod:`complexity` — the closed-form storage/factorization/solution costs
+  of Theorems 2-4, used to draw the O(N log^2 N) and O(N) guide lines in
+  the paper's figures and to extrapolate benchmark results to the paper's
+  full problem sizes;
+* :mod:`ranks`      — per-level rank profiles of constructed HODLR
+  approximations and the reference values from the paper's appendix;
+* :mod:`accuracy`   — residual and error metrics (the ``relres`` column).
+"""
+
+from .complexity import (
+    hodlr_storage_entries,
+    hodlr_factorization_flops,
+    hodlr_solve_flops,
+    default_num_levels,
+    ComplexityModel,
+)
+from .ranks import rank_profile, PAPER_APPENDIX_RANKS
+from .accuracy import relative_residual, relative_error, solution_error_norms
+from .paper_data import (
+    TABLE3_RPY,
+    TABLE4A_LAPLACE_HIGH,
+    TABLE4B_LAPLACE_LOW,
+    TABLE5A_HELMHOLTZ_HIGH,
+    TABLE5B_HELMHOLTZ_LOW,
+    FIGURE_SPEEDUPS,
+    HEADLINE_RATES,
+    speedup_table,
+    scaling_exponent,
+)
+
+__all__ = [
+    "TABLE3_RPY",
+    "TABLE4A_LAPLACE_HIGH",
+    "TABLE4B_LAPLACE_LOW",
+    "TABLE5A_HELMHOLTZ_HIGH",
+    "TABLE5B_HELMHOLTZ_LOW",
+    "FIGURE_SPEEDUPS",
+    "HEADLINE_RATES",
+    "speedup_table",
+    "scaling_exponent",
+    "hodlr_storage_entries",
+    "hodlr_factorization_flops",
+    "hodlr_solve_flops",
+    "default_num_levels",
+    "ComplexityModel",
+    "rank_profile",
+    "PAPER_APPENDIX_RANKS",
+    "relative_residual",
+    "relative_error",
+    "solution_error_norms",
+]

@@ -1,0 +1,50 @@
+"""Accuracy metrics used throughout the benchmarks and tests.
+
+The paper reports ``relres = ||b - A x|| / ||b||`` (Table II) for every
+experiment; the helpers here compute that and related error measures for
+dense references, HODLR operators, and lazily evaluated operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from ..core.hodlr import HODLRMatrix
+
+Operator = Union[np.ndarray, HODLRMatrix, Callable[[np.ndarray], np.ndarray]]
+
+
+def _apply(operator: Operator, x: np.ndarray) -> np.ndarray:
+    if isinstance(operator, np.ndarray):
+        return operator @ x
+    if isinstance(operator, HODLRMatrix):
+        return operator.matvec(x)
+    return operator(x)
+
+
+def relative_residual(operator: Operator, x: np.ndarray, b: np.ndarray) -> float:
+    """``||b - A x|| / ||b||`` — the paper's ``relres``."""
+    r = np.asarray(b) - _apply(operator, np.asarray(x))
+    denom = np.linalg.norm(b)
+    return float(np.linalg.norm(r) / denom) if denom > 0 else float(np.linalg.norm(r))
+
+
+def relative_error(x: np.ndarray, x_ref: np.ndarray) -> float:
+    """``||x - x_ref|| / ||x_ref||``."""
+    denom = np.linalg.norm(x_ref)
+    diff = np.linalg.norm(np.asarray(x) - np.asarray(x_ref))
+    return float(diff / denom) if denom > 0 else float(diff)
+
+
+def solution_error_norms(x: np.ndarray, x_ref: np.ndarray) -> Dict[str, float]:
+    """2-norm, max-norm and relative errors of a solution against a reference."""
+    x = np.asarray(x)
+    x_ref = np.asarray(x_ref)
+    diff = x - x_ref
+    return {
+        "abs_2norm": float(np.linalg.norm(diff)),
+        "abs_max": float(np.max(np.abs(diff))),
+        "rel_2norm": relative_error(x, x_ref),
+    }

@@ -1,0 +1,86 @@
+"""Closed-form cost formulas of section III-D (Theorems 2, 3, 4).
+
+For a rank-``r`` HODLR matrix of size ``N`` with leaf size ``m`` and
+``L = log2(N / m)`` levels:
+
+* storage (Theorem 2):        ``m N + 2 r N L``           entries,
+* factorization (Theorem 3):  ``2/3 m^2 N + 2 m r N L + 2 r^2 N (L + L^2)`` flops,
+* solution (Theorem 4):       ``2 m N + 4 r N L``         flops.
+
+These are used to (a) check that the measured operation counts of the
+implementation track the theory, (b) draw the asymptotic guide lines of
+Figs. 5, 7 and 8, and (c) extrapolate modeled times to the paper's full
+problem sizes in the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def default_num_levels(n: int, leaf_size: int) -> int:
+    """``L = floor(log2(N / m))`` (at least 1)."""
+    if n < 2 * leaf_size:
+        return 1
+    return max(1, int(np.floor(np.log2(n / leaf_size))))
+
+
+def hodlr_storage_entries(n: int, rank: int, leaf_size: int, levels: Optional[int] = None) -> float:
+    """Number of stored scalars for the HODLR matrix and its factorization (Thm. 2)."""
+    L = levels if levels is not None else default_num_levels(n, leaf_size)
+    return float(leaf_size * n + 2.0 * rank * n * L)
+
+
+def hodlr_factorization_flops(
+    n: int, rank: int, leaf_size: int, levels: Optional[int] = None
+) -> float:
+    """Operation count of the factorization stage (Thm. 3)."""
+    L = levels if levels is not None else default_num_levels(n, leaf_size)
+    return float(
+        2.0 / 3.0 * leaf_size ** 2 * n
+        + 2.0 * leaf_size * rank * n * L
+        + 2.0 * rank ** 2 * n * (L + L ** 2)
+    )
+
+
+def hodlr_solve_flops(n: int, rank: int, leaf_size: int, levels: Optional[int] = None) -> float:
+    """Operation count of the solution stage for one right-hand side (Thm. 4)."""
+    L = levels if levels is not None else default_num_levels(n, leaf_size)
+    return float(2.0 * leaf_size * n + 4.0 * rank * n * L)
+
+
+@dataclass
+class ComplexityModel:
+    """Bundle of the three formulas for a fixed (rank, leaf size) configuration."""
+
+    rank: int
+    leaf_size: int = 64
+    dtype_size: int = 8
+
+    def levels(self, n: int) -> int:
+        return default_num_levels(n, self.leaf_size)
+
+    def storage_bytes(self, n: int) -> float:
+        return hodlr_storage_entries(n, self.rank, self.leaf_size) * self.dtype_size
+
+    def factorization_flops(self, n: int) -> float:
+        return hodlr_factorization_flops(n, self.rank, self.leaf_size)
+
+    def solve_flops(self, n: int) -> float:
+        return hodlr_solve_flops(n, self.rank, self.leaf_size)
+
+    def guide_curve(self, ns: np.ndarray, kind: str = "factorization") -> np.ndarray:
+        """Asymptotic guide values (``N log^2 N`` or ``N``), normalised to the first point."""
+        ns = np.asarray(ns, dtype=float)
+        if kind == "factorization":
+            vals = ns * np.log2(ns) ** 2
+        elif kind == "solution":
+            vals = ns
+        elif kind == "storage":
+            vals = ns * np.log2(ns)
+        else:
+            raise ValueError(f"unknown guide kind {kind!r}")
+        return vals / vals[0]

@@ -1,0 +1,253 @@
+"""Instrumentation of batched kernel launches.
+
+Every call into the batched backend emits a :class:`KernelEvent` describing
+what a cuBLAS kernel launch would have looked like: the kernel name, the
+batch size, per-problem dimensions, floating-point operations, and bytes
+read/written.  Traces are the raw material for the analytic performance
+model (:mod:`repro.backends.perfmodel`) and for the GFlop/s figures
+(Fig. 9 of the paper).
+
+The recorder is intentionally simple and thread-unaware: HODLR
+factorizations issue a modest number of large batched launches (a few per
+tree level), so recording is cheap relative to the numerical work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """A single batched-kernel launch.
+
+    Parameters
+    ----------
+    kernel:
+        Name of the primitive (``"gemm_batched"``, ``"getrf_batched"``, ...).
+    batch:
+        Number of independent problems in the batch.
+    shape:
+        Per-problem dimensions.  For gemm this is ``(m, n, k)``; for LU
+        factorization ``(n, n, 0)``; for LU solve ``(n, nrhs, 0)``.
+    flops:
+        Total floating point operations across the whole batch.
+    bytes_moved:
+        Total bytes read plus written by the launch (device memory traffic).
+    dtype_size:
+        Size in bytes of one scalar (8 for float64, 4 for float32, 16 for
+        complex128, ...).
+    strided:
+        Whether the launch used the strided-batch fast path
+        (``gemmStridedBatched``), which the paper reports as significantly
+        faster for small operands.
+    stream:
+        Stream index if the launch was issued on an independent CUDA stream
+        (top levels of the tree), else ``None``.
+    level:
+        Tree level that issued the launch, if known.
+    tag:
+        Free-form annotation (e.g. ``"factor"`` or ``"solve"``).
+    """
+
+    kernel: str
+    batch: int
+    shape: Tuple[int, int, int]
+    flops: float
+    bytes_moved: float
+    dtype_size: int = 8
+    strided: bool = False
+    stream: Optional[int] = None
+    level: Optional[int] = None
+    tag: str = ""
+
+
+@dataclass
+class KernelTrace:
+    """An ordered list of kernel launches plus explicit data transfers."""
+
+    events: List[KernelEvent] = field(default_factory=list)
+    #: host->device / device->host transfers, in bytes.
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+
+    def append(self, event: KernelEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, other: "KernelTrace") -> None:
+        self.events.extend(other.events)
+        self.h2d_bytes += other.h2d_bytes
+        self.d2h_bytes += other.d2h_bytes
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return float(sum(e.flops for e in self.events))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(e.bytes_moved for e in self.events))
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.events)
+
+    def flops_by_kernel(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for e in self.events:
+            out[e.kernel] = out.get(e.kernel, 0.0) + e.flops
+        return out
+
+    def launches_by_level(self) -> Dict[Optional[int], int]:
+        out: Dict[Optional[int], int] = {}
+        for e in self.events:
+            out[e.level] = out.get(e.level, 0) + 1
+        return out
+
+    def filter(self, tag: Optional[str] = None, kernel: Optional[str] = None) -> "KernelTrace":
+        """Return a sub-trace restricted to a tag and/or kernel name."""
+        events = [
+            e
+            for e in self.events
+            if (tag is None or e.tag == tag) and (kernel is None or e.kernel == kernel)
+        ]
+        return KernelTrace(events=events, h2d_bytes=0.0, d2h_bytes=0.0)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "launches": float(self.num_launches),
+            "flops": self.total_flops,
+            "bytes": self.total_bytes,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+        }
+
+
+class TraceRecorder:
+    """Global, stack-structured recorder for kernel events.
+
+    The backend functions call :func:`record_event`; user code wraps regions
+    of interest with :meth:`TraceRecorder.recording` to capture a trace:
+
+    >>> rec = get_recorder()
+    >>> with rec.recording() as trace:
+    ...     ...  # run a factorization
+    >>> trace.total_flops  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[KernelTrace] = []
+        #: ambient context applied to every recorded event
+        self._level: Optional[int] = None
+        self._tag: str = ""
+        self._stream: Optional[int] = None
+
+    # -- context management ------------------------------------------------
+    @contextlib.contextmanager
+    def recording(self) -> Iterator[KernelTrace]:
+        trace = KernelTrace()
+        self._stack.append(trace)
+        try:
+            yield trace
+        finally:
+            popped = self._stack.pop()
+            # nested recordings bubble up into their parent so that an outer
+            # trace sees the union of all inner work.
+            if self._stack:
+                self._stack[-1].extend(popped)
+
+    @contextlib.contextmanager
+    def context(
+        self,
+        level: Optional[int] = None,
+        tag: Optional[str] = None,
+        stream: Optional[int] = None,
+    ) -> Iterator[None]:
+        """Temporarily attach level/tag/stream metadata to recorded events."""
+        old = (self._level, self._tag, self._stream)
+        if level is not None:
+            self._level = level
+        if tag is not None:
+            self._tag = tag
+        if stream is not None:
+            self._stream = stream
+        try:
+            yield
+        finally:
+            self._level, self._tag, self._stream = old
+
+    # -- event emission ----------------------------------------------------
+    def emit(self, event: KernelEvent) -> None:
+        if not self._stack:
+            return
+        if self._level is not None or self._tag or self._stream is not None:
+            event = KernelEvent(
+                kernel=event.kernel,
+                batch=event.batch,
+                shape=event.shape,
+                flops=event.flops,
+                bytes_moved=event.bytes_moved,
+                dtype_size=event.dtype_size,
+                strided=event.strided,
+                stream=event.stream if event.stream is not None else self._stream,
+                level=event.level if event.level is not None else self._level,
+                tag=event.tag or self._tag,
+            )
+        self._stack[-1].append(event)
+
+    def add_transfer(self, nbytes: float, direction: str = "h2d") -> None:
+        if not self._stack:
+            return
+        if direction == "h2d":
+            self._stack[-1].h2d_bytes += float(nbytes)
+        elif direction == "d2h":
+            self._stack[-1].d2h_bytes += float(nbytes)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown transfer direction {direction!r}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self._stack)
+
+
+_GLOBAL_RECORDER = TraceRecorder()
+
+
+def get_recorder() -> TraceRecorder:
+    """Return the process-wide :class:`TraceRecorder` singleton."""
+    return _GLOBAL_RECORDER
+
+
+def record_event(event: KernelEvent) -> None:
+    """Emit ``event`` into the active recording, if any."""
+    _GLOBAL_RECORDER.emit(event)
+
+
+# ----------------------------------------------------------------------
+# flop-count helpers (paper's conventions, section III-D)
+# ----------------------------------------------------------------------
+def gemm_flops(m: int, n: int, k: int, complex_arith: bool = False) -> float:
+    """Flops for a dense ``m x k`` times ``k x n`` multiply-accumulate.
+
+    The paper counts ``2 k m n`` real operations per gemm (footnote 3).  A
+    complex multiply-add costs 4x a real one in multiplications plus
+    additions; we use the conventional factor of 4.
+    """
+    base = 2.0 * m * n * k
+    return 4.0 * base if complex_arith else base
+
+
+def getrf_flops(n: int, complex_arith: bool = False) -> float:
+    """Flops for an in-place LU factorization of an ``n x n`` matrix (2/3 n^3)."""
+    base = 2.0 / 3.0 * n ** 3
+    return 4.0 * base if complex_arith else base
+
+
+def getrs_flops(n: int, nrhs: int, complex_arith: bool = False) -> float:
+    """Flops for triangular solves with ``nrhs`` right-hand sides (2 n^2 per rhs)."""
+    base = 2.0 * n ** 2 * nrhs
+    return 4.0 * base if complex_arith else base

@@ -1,0 +1,130 @@
+"""Device specifications used by the analytic performance model.
+
+The paper's test machine (section IV) consists of:
+
+* two Intel Xeon Gold 6254 CPUs (36 cores total, peak ~1.27 TFlop/s double),
+* one NVIDIA Tesla V100 GPU (32 GB HBM2, peak ~7 TFlop/s double, ~900 GB/s),
+* a PCIe 3.0 x16 link (up to 15.75 GB/s; the paper measured ~12 GB/s).
+
+A :class:`DeviceSpec` captures the handful of parameters the performance
+model needs: peak flop rate, sustained memory bandwidth, per-kernel-launch
+overhead, and an efficiency curve describing how well small batched
+problems utilise the device.  The specs below are deliberately simple and
+documented so that EXPERIMENTS.md can state exactly what "modeled time"
+means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Analytic description of a compute device.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    peak_flops:
+        Peak double-precision flop rate in flop/s.
+    mem_bandwidth:
+        Sustained memory bandwidth in bytes/s.
+    launch_overhead:
+        Fixed cost per kernel launch (seconds).  On a GPU this models the
+        CUDA launch latency (~5-10 microseconds); on a CPU it models the
+        function-call/threading overhead of a BLAS invocation.
+    single_precision_speedup:
+        Ratio of single- to double-precision peak throughput (2.0 for V100
+        and for AVX-512 CPUs).
+    min_efficiency / saturation_flops:
+        Efficiency ramp: a kernel that performs ``W`` useful flops runs at
+        ``peak_flops * clamp(min_eff + (1-min_eff) * W / saturation_flops)``.
+        This is the standard "small problems underutilise the device"
+        behaviour that makes batching worthwhile, and it is what produces
+        the growing GPU speedup with N seen in Fig. 5.
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    launch_overhead: float
+    single_precision_speedup: float = 2.0
+    min_efficiency: float = 0.02
+    saturation_flops: float = 5.0e9
+
+    def effective_flops(self, work: float, dtype_size: int = 8) -> float:
+        """Flop rate achieved by a single kernel performing ``work`` flops."""
+        frac = min(1.0, work / self.saturation_flops)
+        eff = self.min_efficiency + (1.0 - self.min_efficiency) * frac
+        rate = self.peak_flops * eff
+        if dtype_size <= 4:
+            rate *= self.single_precision_speedup
+        return rate
+
+    def kernel_time(self, flops: float, bytes_moved: float, dtype_size: int = 8) -> float:
+        """Roofline-style time estimate for one kernel launch."""
+        compute = flops / self.effective_flops(flops, dtype_size)
+        memory = bytes_moved / self.mem_bandwidth
+        return self.launch_overhead + max(compute, memory)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A host<->device interconnect (PCIe)."""
+
+    name: str
+    bandwidth: float  # bytes/s, sustained
+    latency: float = 10.0e-6
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVIDIA Tesla V100 (SXM2 32 GB) as characterised in the paper.
+GPU_V100 = DeviceSpec(
+    name="NVIDIA Tesla V100 32GB",
+    peak_flops=7.0e12,
+    mem_bandwidth=900.0e9,
+    launch_overhead=8.0e-6,
+    single_precision_speedup=2.0,
+    min_efficiency=0.01,
+    saturation_flops=2.0e10,
+)
+
+#: Two Intel Xeon Gold 6254 CPUs (36 cores, 3.10 GHz) -- the paper's CPU node.
+CPU_XEON_6254_DUAL = DeviceSpec(
+    name="2x Intel Xeon Gold 6254 (36 cores)",
+    peak_flops=1.27e12,
+    mem_bandwidth=280.0e9,
+    launch_overhead=2.0e-6,
+    single_precision_speedup=2.0,
+    min_efficiency=0.05,
+    saturation_flops=2.0e9,
+)
+
+#: A single Xeon 6254 core (the paper reports ~20 GFlop/s for the serial solver).
+CPU_XEON_6254_SINGLE_CORE = DeviceSpec(
+    name="Intel Xeon Gold 6254 (1 core)",
+    peak_flops=35.0e9,
+    mem_bandwidth=20.0e9,
+    launch_overhead=0.5e-6,
+    single_precision_speedup=2.0,
+    min_efficiency=0.3,
+    saturation_flops=1.0e8,
+)
+
+#: PCIe 3.0 x16; the paper observed roughly 12 GB/s of the 15.75 GB/s peak.
+PCIE3_X16 = LinkSpec(name="PCIe 3.0 x16", bandwidth=12.0e9, latency=10.0e-6)
+
+
+#: Registry used by benchmark CLIs.
+DEVICE_REGISTRY: Dict[str, DeviceSpec] = {
+    "v100": GPU_V100,
+    "xeon-dual": CPU_XEON_6254_DUAL,
+    "xeon-core": CPU_XEON_6254_SINGLE_CORE,
+}

@@ -1,0 +1,22 @@
+"""Baseline solvers the paper compares against.
+
+* :mod:`dense_lu`     — classical dense LU (the O(N^3) reference the paper's
+  introduction rules out for large N);
+* :mod:`hodlrlib_cpu` — a HODLRlib-style CPU solver: the same recursive
+  per-node factorization, parallelised only across nodes of a level, with a
+  CPU cost model (the "HODLRlib" and "Serial HODLR Solver" columns);
+* :mod:`block_sparse` — the Ho-Greengard extended block-sparse embedding
+  solved with a sparse direct solver (the "Serial/Parallel Block-Sparse
+  Solver" columns).
+"""
+
+from .dense_lu import DenseLUSolver
+from .hodlrlib_cpu import HODLRlibStyleSolver
+from .block_sparse import BlockSparseSolver, extended_sparse_system
+
+__all__ = [
+    "DenseLUSolver",
+    "HODLRlibStyleSolver",
+    "BlockSparseSolver",
+    "extended_sparse_system",
+]

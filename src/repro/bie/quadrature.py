@@ -1,0 +1,126 @@
+"""Quadrature rules for Nystrom discretization of the BIEs.
+
+Two rules are used in the paper:
+
+* the **periodic trapezoidal rule** — spectrally accurate for smooth
+  periodic integrands; combined with the analytic diagonal limit of the
+  Laplace double-layer kernel it gives the "2nd-order" discretization of
+  Table IV (the formal order quoted in the paper refers to the generic
+  kernel case);
+* the **Kapur-Rokhlin corrected trapezoidal rule** (6th order) — handles
+  the logarithmic singularity of the Helmholtz kernels (Table V).  The
+  correction leaves the trapezoidal weights untouched except for the 6
+  nodes on either side of the singular (diagonal) point, whose weights are
+  scaled by known constants, and the singular point itself, which receives
+  weight zero.
+
+References: Kapur & Rokhlin, SIAM J. Numer. Anal. 34 (1997); the gamma
+constants below are the standard 6th-order values (also tabulated in Hao,
+Barnett, Martinsson & Young, 2014).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: 6th-order Kapur-Rokhlin correction coefficients ``gamma_1 .. gamma_6`` for
+#: integrands with a logarithmic singularity at the excluded central node.
+KAPUR_ROKHLIN_GAMMA = np.array(
+    [
+        4.967362978287758,
+        -16.20501504859126,
+        25.85153761832639,
+        -22.22599466791883,
+        9.930104998037539,
+        -1.817995878141594,
+    ]
+)
+
+#: 2nd-order variant (single corrected neighbour on each side).
+KAPUR_ROKHLIN_GAMMA_2ND = np.array([1.825748064736159])
+
+#: 10th-order variant.
+KAPUR_ROKHLIN_GAMMA_10TH = np.array(
+    [
+        7.832432020568779,
+        -4.565161670374749e1,
+        1.452168846354677e2,
+        -2.901348302886379e2,
+        3.870862162579900e2,
+        -3.523821383570681e2,
+        2.172421547519342e2,
+        -8.707796087382991e1,
+        2.053584266072635e1,
+        -2.166984103403823,
+    ]
+)
+
+
+def trapezoidal_weights(n: int, speed: np.ndarray) -> np.ndarray:
+    """Arc-length weights of the periodic trapezoidal rule: ``h * |gamma'(t_j)|``."""
+    speed = np.asarray(speed, dtype=float)
+    if speed.shape != (n,):
+        raise ValueError(f"speed must have shape ({n},)")
+    h = 2.0 * np.pi / n
+    return h * speed
+
+
+def kapur_rokhlin_correction(n: int, order: int = 6) -> Tuple[np.ndarray, np.ndarray]:
+    """Offsets and correction factors of the Kapur-Rokhlin rule.
+
+    Returns ``(offsets, gammas)`` where, for the row associated with node
+    ``i``, the weight of node ``i + offsets[k]`` (cyclically) must be
+    multiplied by ``1 + gammas[k]`` and the weight of node ``i`` itself set
+    to zero.
+
+    Parameters
+    ----------
+    n:
+        Number of quadrature nodes (must exceed twice the correction stencil).
+    order:
+        2, 6, or 10.
+    """
+    table = {
+        2: KAPUR_ROKHLIN_GAMMA_2ND,
+        6: KAPUR_ROKHLIN_GAMMA,
+        10: KAPUR_ROKHLIN_GAMMA_10TH,
+    }
+    if order not in table:
+        raise ValueError(f"Kapur-Rokhlin order must be one of {sorted(table)}, got {order}")
+    gam = table[order]
+    k = gam.size
+    if n <= 2 * k:
+        raise ValueError(f"need more than {2 * k} nodes for the order-{order} correction")
+    offsets = np.concatenate([np.arange(1, k + 1), -np.arange(1, k + 1)])
+    gammas = np.concatenate([gam, gam])
+    return offsets, gammas
+
+
+def apply_kapur_rokhlin(matrix_weights: np.ndarray, order: int = 6) -> np.ndarray:
+    """Apply the Kapur-Rokhlin correction to a matrix of quadrature weights.
+
+    ``matrix_weights[i, j]`` is the weight with which source node ``j``
+    enters the integral collocated at target node ``i`` (initially the
+    trapezoidal weight of node ``j``, independent of ``i``).  The returned
+    copy has the diagonal weights zeroed and the near-diagonal weights
+    scaled; rows are treated cyclically.
+    """
+    W = np.array(matrix_weights, dtype=float, copy=True)
+    n = W.shape[0]
+    if W.shape != (n, n):
+        raise ValueError("matrix_weights must be square")
+    offsets, gammas = kapur_rokhlin_correction(n, order=order)
+    idx = np.arange(n)
+    np.fill_diagonal(W, 0.0)
+    for off, gam in zip(offsets, gammas):
+        cols = (idx + off) % n
+        W[idx, cols] *= 1.0 + gam
+    return W
+
+
+def periodic_trapezoidal_integral(values: np.ndarray, speed: np.ndarray) -> float:
+    """Reference helper: integrate samples of a periodic function over a contour."""
+    n = values.shape[0]
+    return float(np.sum(values * trapezoidal_weights(n, speed)))

@@ -1,0 +1,342 @@
+"""Low-rank compression kernels for off-diagonal HODLR blocks.
+
+The paper constructs HODLR approximations on the CPU before copying them to
+the GPU, using
+
+* HODLRlib's ``LowRank::rookPiv()`` — an approximate partial-pivoted LU
+  ("rook pivoting" / ACA-style cross approximation) — for kernel matrices
+  (section IV-A), and
+* the proxy-surface technique for BIE matrices (sections IV-B/IV-C; the
+  proxy machinery itself lives in :mod:`repro.bie.proxy` because it needs
+  geometry, but it reuses :func:`randomized_compress` from here).
+
+This module implements three interchangeable compressors plus a config
+object and a dispatcher:
+
+* :func:`svd_compress`         — exact truncated SVD (reference / testing);
+* :func:`rook_pivot_compress`  — adaptive cross approximation with rook
+  pivot searches, requiring only entry evaluation;
+* :func:`randomized_compress`  — randomized range finder + small SVD,
+  requiring only matvec access to the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import linalg as sla
+
+from .low_rank import LowRankFactor, _truncation_count
+
+#: Evaluates a sub-block of the operator: ``entries(rows, cols) -> ndarray``.
+BlockEvaluator = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class CompressionConfig:
+    """Options controlling off-diagonal block compression.
+
+    Parameters
+    ----------
+    tol:
+        Relative tolerance for the low-rank approximation (the paper uses
+        1e-12 for the "high accuracy" solvers and ~1e-4 for the
+        preconditioner runs).
+    max_rank:
+        Hard cap on the rank (None = no cap).
+    method:
+        ``"svd"``, ``"rook"``, or ``"randomized"``.
+    oversampling:
+        Extra random samples for the randomized range finder.
+    rng:
+        Seeded generator for reproducibility of the randomized path.
+    """
+
+    tol: float = 1e-12
+    max_rank: Optional[int] = None
+    method: str = "rook"
+    oversampling: int = 10
+    rng: Optional[np.random.Generator] = None
+
+    def generator(self) -> np.random.Generator:
+        return self.rng if self.rng is not None else np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# SVD (reference)
+# ----------------------------------------------------------------------
+def svd_compress(
+    block: np.ndarray, tol: float = 1e-12, max_rank: Optional[int] = None
+) -> LowRankFactor:
+    """Optimal (truncated SVD) compression of a dense block."""
+    return LowRankFactor.from_dense(block, tol=tol, max_rank=max_rank)
+
+
+# ----------------------------------------------------------------------
+# Rook-pivoted cross approximation (HODLRlib's rookPiv analogue)
+# ----------------------------------------------------------------------
+def rook_pivot_compress(
+    entries: BlockEvaluator,
+    m: int,
+    n: int,
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    max_rook_steps: int = 3,
+    dtype=np.float64,
+) -> LowRankFactor:
+    """Adaptive cross approximation with rook pivoting.
+
+    Builds ``B ~= sum_k u_k v_k*`` one cross at a time.  Each step picks a
+    pivot by a rook search (alternate row/column argmax of the current
+    residual, evaluated lazily), subtracts the cross, and stops when the
+    estimated residual norm drops below ``tol`` times the estimated block
+    norm.  Only ``O((m + n) r)`` entries of the block are ever evaluated,
+    which is what makes HODLR construction from kernel functions cheap.
+
+    Parameters
+    ----------
+    entries:
+        Callable evaluating ``block[np.ix_(rows, cols)]``.
+    m, n:
+        Block dimensions.
+    tol:
+        Relative Frobenius-norm tolerance.
+    max_rank:
+        Upper bound on the constructed rank (defaults to ``min(m, n)``).
+    max_rook_steps:
+        Number of alternating row/column refinements of each pivot.
+    """
+    if m == 0 or n == 0:
+        return LowRankFactor.zeros(m, n, dtype)
+    rank_cap = min(m, n) if max_rank is None else min(max_rank, m, n)
+    if rank_cap == 0:
+        return LowRankFactor.zeros(m, n, dtype)
+
+    us = []
+    vs = []
+    used_rows: set = set()
+    used_cols: set = set()
+    # running estimate of ||B||_F^2 built from the crosses (standard ACA estimate)
+    approx_norm2 = 0.0
+    rng = np.random.default_rng(12345)
+
+    def residual_row(i: int) -> np.ndarray:
+        row = np.asarray(entries(np.array([i]), np.arange(n)), dtype=dtype).reshape(n)
+        for u, v in zip(us, vs):
+            row = row - u[i] * v.conj()
+        return row
+
+    def residual_col(j: int) -> np.ndarray:
+        col = np.asarray(entries(np.arange(m), np.array([j])), dtype=dtype).reshape(m)
+        for u, v in zip(us, vs):
+            col = col - v[j].conj() * u
+        return col
+
+    next_row = 0
+    for _ in range(rank_cap):
+        # --- rook pivot search -------------------------------------------------
+        i = next_row
+        # make sure we start from an unused row
+        tries = 0
+        while i in used_rows and tries < m:
+            i = (i + 1) % m
+            tries += 1
+        row = residual_row(i)
+        j = int(np.argmax(np.abs(row)))
+        col = residual_col(j)
+        for _ in range(max_rook_steps):
+            i_new = int(np.argmax(np.abs(col)))
+            if i_new == i:
+                break
+            i = i_new
+            row = residual_row(i)
+            j_new = int(np.argmax(np.abs(row)))
+            if j_new == j:
+                break
+            j = j_new
+            col = residual_col(j)
+
+        pivot = row[j]
+        if pivot == 0:
+            # residual row is identically zero; try a random unused row before
+            # concluding the block is (numerically) exhausted.
+            candidates = [r for r in range(m) if r not in used_rows]
+            if not candidates:
+                break
+            i = int(rng.choice(candidates))
+            row = residual_row(i)
+            j = int(np.argmax(np.abs(row)))
+            pivot = row[j]
+            if pivot == 0:
+                break
+            col = residual_col(j)
+
+        u = col / pivot
+        v = row.conj()
+        us.append(u.astype(dtype, copy=False))
+        vs.append(v.astype(dtype, copy=False))
+        used_rows.add(i)
+        used_cols.add(j)
+        next_row = (i + 1) % m
+
+        # --- stopping criterion ------------------------------------------------
+        cross_norm2 = float(np.linalg.norm(u) ** 2 * np.linalg.norm(v) ** 2)
+        # ||B_k||^2 ~= ||B_{k-1}||^2 + 2 Re <prev, new> + ||new||^2 ; we use the
+        # standard cheap update that ignores cross terms beyond the latest pair.
+        cross_terms = 0.0
+        for up, vp in zip(us[:-1], vs[:-1]):
+            cross_terms += 2.0 * abs(np.vdot(up, u) * np.vdot(vp, v))
+        approx_norm2 += cross_norm2 + cross_terms
+        if approx_norm2 > 0 and cross_norm2 <= (tol ** 2) * approx_norm2:
+            break
+
+    if not us:
+        return LowRankFactor.zeros(m, n, dtype)
+    U = np.column_stack(us)
+    V = np.column_stack(vs)
+    factor = LowRankFactor(U=U, V=V)
+    # A final recompression both tightens the rank and orthogonalises the bases.
+    return factor.recompress(tol=tol, max_rank=max_rank)
+
+
+def rook_pivot_compress_dense(
+    block: np.ndarray, tol: float = 1e-12, max_rank: Optional[int] = None
+) -> LowRankFactor:
+    """Rook-pivoted compression of an explicitly stored block."""
+    block = np.asarray(block)
+
+    def entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return block[np.ix_(rows, cols)]
+
+    return rook_pivot_compress(
+        entries, block.shape[0], block.shape[1], tol=tol, max_rank=max_rank, dtype=block.dtype
+    )
+
+
+# ----------------------------------------------------------------------
+# Randomized range finder
+# ----------------------------------------------------------------------
+def randomized_compress(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rmatvec: Callable[[np.ndarray], np.ndarray],
+    m: int,
+    n: int,
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    oversampling: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    block_size: int = 16,
+    dtype=np.float64,
+) -> LowRankFactor:
+    """Adaptive randomized low-rank approximation from matvec access.
+
+    Uses blocked adaptive range finding (Halko–Martinsson–Tropp): draw
+    Gaussian test matrices in blocks, orthogonalise the sampled range, and
+    stop when the norm of the newest block of samples (a stochastic estimate
+    of the residual spectral norm) falls below ``tol`` times the largest
+    observed sample norm.  The final factor is obtained from the small
+    projected matrix ``Q* B`` via an SVD.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    rank_cap = min(m, n) if max_rank is None else min(max_rank + oversampling, m, n)
+    if rank_cap == 0 or m == 0 or n == 0:
+        return LowRankFactor.zeros(m, n, dtype)
+
+    Q = np.zeros((m, 0), dtype=dtype)
+    first_block_norm = None
+    while Q.shape[1] < rank_cap:
+        nb = min(block_size, rank_cap - Q.shape[1])
+        Omega = rng.standard_normal((n, nb)).astype(dtype, copy=False)
+        if np.issubdtype(np.dtype(dtype), np.complexfloating):
+            Omega = Omega + 1j * rng.standard_normal((n, nb))
+        Y = np.asarray(matvec(Omega))
+        if Q.shape[1] > 0:
+            Y = Y - Q @ (Q.conj().T @ Y)
+        block_norm = float(np.linalg.norm(Y))
+        if first_block_norm is None:
+            first_block_norm = max(block_norm, np.finfo(float).tiny)
+        elif block_norm <= tol * first_block_norm:
+            # the residual range is exhausted; appending these (numerically
+            # meaningless) directions would destroy Q's orthonormality.
+            break
+        if Q.shape[1] > 0:
+            # second projection pass for numerical orthogonality
+            Y = Y - Q @ (Q.conj().T @ Y)
+        Qb, _ = np.linalg.qr(Y)
+        Q = np.hstack([Q, Qb])
+        if block_norm <= tol * first_block_norm:
+            break
+
+    # project: B* Q has shape (n, q); SVD of the small matrix gives the factor.
+    Bt_Q = np.asarray(rmatvec(Q))  # = B^* Q, shape (n, q)
+    W, s, Zh = sla.svd(Bt_Q.conj().T, full_matrices=False, check_finite=False)  # Q^T B = W s Zh
+    keep = _truncation_count(s, tol, max_rank)
+    U = Q @ (W[:, :keep] * s[:keep])
+    V = Zh[:keep, :].conj().T
+    return LowRankFactor(U=U, V=V)
+
+
+def randomized_compress_dense(
+    block: np.ndarray,
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> LowRankFactor:
+    """Randomized compression of an explicitly stored block."""
+    block = np.asarray(block)
+    return randomized_compress(
+        matvec=lambda X: block @ X,
+        rmatvec=lambda X: block.conj().T @ X,
+        m=block.shape[0],
+        n=block.shape[1],
+        tol=tol,
+        max_rank=max_rank,
+        rng=rng,
+        dtype=block.dtype,
+    )
+
+
+# ----------------------------------------------------------------------
+# dispatcher
+# ----------------------------------------------------------------------
+def compress_block(
+    entries: BlockEvaluator,
+    m: int,
+    n: int,
+    config: CompressionConfig,
+    dtype=np.float64,
+) -> LowRankFactor:
+    """Compress the block defined by ``entries`` according to ``config``."""
+    if config.method == "svd":
+        block = np.asarray(entries(np.arange(m), np.arange(n)), dtype=dtype)
+        return svd_compress(block, tol=config.tol, max_rank=config.max_rank)
+    if config.method == "rook":
+        return rook_pivot_compress(
+            entries, m, n, tol=config.tol, max_rank=config.max_rank, dtype=dtype
+        )
+    if config.method == "randomized":
+        # randomized needs matvecs; realise them through entry evaluation on
+        # full index ranges (columns are gathered lazily in blocks).
+        rows = np.arange(m)
+        cols = np.arange(n)
+
+        def matvec(X: np.ndarray) -> np.ndarray:
+            return np.asarray(entries(rows, cols), dtype=dtype) @ X
+
+        def rmatvec(X: np.ndarray) -> np.ndarray:
+            return np.asarray(entries(rows, cols), dtype=dtype).conj().T @ X
+
+        return randomized_compress(
+            matvec,
+            rmatvec,
+            m,
+            n,
+            tol=config.tol,
+            max_rank=config.max_rank,
+            oversampling=config.oversampling,
+            rng=config.generator(),
+            dtype=dtype,
+        )
+    raise ValueError(f"unknown compression method {config.method!r}")

@@ -1,0 +1,315 @@
+"""The HODLR matrix container (Definition 2 of the paper).
+
+A :class:`HODLRMatrix` stores
+
+* a dense diagonal block ``D_alpha = A(I_alpha, I_alpha)`` for every leaf
+  ``alpha`` of the cluster tree, and
+* low-rank bases ``U_alpha`` and ``V_alpha`` for every non-root node, such
+  that for a sibling pair ``(alpha, beta)``
+
+  .. math:: A(I_\\alpha, I_\\beta) = U_\\alpha V_\\beta^*, \\qquad
+            A(I_\\beta, I_\\alpha) = U_\\beta V_\\alpha^*.
+
+The two off-diagonal blocks of a sibling pair are compressed independently
+(the matrix need not be symmetric); the convention above simply names the
+factors after the node whose row (for ``U``) or column (for ``V``) indices
+they span, which is exactly the naming used by the paper's algorithms.
+
+Construction paths
+------------------
+* :func:`build_hodlr_from_dense` — compress an explicitly stored matrix;
+* :func:`build_hodlr` — compress anything that can evaluate sub-blocks
+  ``entries(rows, cols)`` (kernel matrices, BIE operators) without ever
+  forming the full matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from .cluster_tree import ClusterTree, TreeNode
+from .compression import BlockEvaluator, CompressionConfig, compress_block
+from .low_rank import LowRankFactor
+
+
+@dataclass
+class HODLRMatrix:
+    """A matrix in HODLR format over a cluster tree."""
+
+    tree: ClusterTree
+    #: leaf index -> dense diagonal block
+    diag: Dict[int, np.ndarray]
+    #: non-root node index -> left basis U_alpha  (rows = |I_alpha|)
+    U: Dict[int, np.ndarray]
+    #: non-root node index -> right basis V_alpha (rows = |I_alpha|)
+    V: Dict[int, np.ndarray]
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return (self.tree.n, self.tree.n)
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    @property
+    def dtype(self) -> np.dtype:
+        return next(iter(self.diag.values())).dtype
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(d.nbytes for d in self.diag.values())
+        total += sum(u.nbytes for u in self.U.values())
+        total += sum(v.nbytes for v in self.V.values())
+        return int(total)
+
+    @property
+    def memory_gb(self) -> float:
+        """Memory footprint in GB (the ``mem`` column of the paper's tables)."""
+        return self.nbytes / 1.0e9
+
+    def rank_of_pair(self, alpha: int) -> int:
+        """Rank of the off-diagonal block whose rows belong to node ``alpha``."""
+        return self.U[alpha].shape[1]
+
+    def rank_profile(self) -> List[int]:
+        """Maximum off-diagonal rank per level, from level 1 to the leaves.
+
+        This reproduces the per-level rank lists reported in the paper's
+        appendix.
+        """
+        out = []
+        for level in range(1, self.tree.levels + 1):
+            ranks = [self.U[idx].shape[1] for idx in self.tree.level_indices(level)]
+            ranks += [self.V[idx].shape[1] for idx in self.tree.level_indices(level)]
+            out.append(int(max(ranks)) if ranks else 0)
+        return out
+
+    @property
+    def max_rank(self) -> int:
+        return max(self.rank_profile())
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Multiply the HODLR matrix by a vector or a block of vectors."""
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        X = x.reshape(-1, 1) if squeeze else x
+        if X.shape[0] != self.n:
+            raise ValueError(f"dimension mismatch: matrix is {self.n}, vector is {X.shape[0]}")
+        out_dtype = np.result_type(self.dtype, X.dtype)
+        y = np.zeros_like(X, dtype=out_dtype)
+
+        # diagonal blocks
+        for leaf in self.tree.leaves:
+            blk = self.diag[leaf.index]
+            y[leaf.start : leaf.stop] += blk @ X[leaf.start : leaf.stop]
+
+        # off-diagonal blocks, one sibling pair at a time
+        for level in range(1, self.tree.levels + 1):
+            for left, right in self.tree.sibling_pairs(level):
+                Ua, Va = self.U[left.index], self.V[left.index]
+                Ub, Vb = self.U[right.index], self.V[right.index]
+                # A(I_left, I_right) = U_left V_right^*
+                y[left.start : left.stop] += Ua @ (Vb.conj().T @ X[right.start : right.stop])
+                # A(I_right, I_left) = U_right V_left^*
+                y[right.start : right.stop] += Ub @ (Va.conj().T @ X[left.start : left.stop])
+
+        return y.ravel() if squeeze else y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense matrix represented by this HODLR approximation."""
+        A = np.zeros((self.n, self.n), dtype=self.dtype)
+        for leaf in self.tree.leaves:
+            A[leaf.start : leaf.stop, leaf.start : leaf.stop] = self.diag[leaf.index]
+        for level in range(1, self.tree.levels + 1):
+            for left, right in self.tree.sibling_pairs(level):
+                Ua, Va = self.U[left.index], self.V[left.index]
+                Ub, Vb = self.U[right.index], self.V[right.index]
+                A[left.start : left.stop, right.start : right.stop] = Ua @ Vb.conj().T
+                A[right.start : right.stop, left.start : left.stop] = Ub @ Va.conj().T
+        return A
+
+    def diagonal_block(self, node: TreeNode) -> np.ndarray:
+        """Dense realisation of ``A(I_node, I_node)`` for any tree node."""
+        if self.tree.is_leaf(node):
+            return self.diag[node.index].copy()
+        left, right = self.tree.children(node)
+        size = node.size
+        blk = np.zeros((size, size), dtype=self.dtype)
+        off_l = left.start - node.start
+        off_r = right.start - node.start
+        blk[off_l : off_l + left.size, off_l : off_l + left.size] = self.diagonal_block(left)
+        blk[off_r : off_r + right.size, off_r : off_r + right.size] = self.diagonal_block(right)
+        blk[off_l : off_l + left.size, off_r : off_r + right.size] = (
+            self.U[left.index] @ self.V[right.index].conj().T
+        )
+        blk[off_r : off_r + right.size, off_l : off_l + left.size] = (
+            self.U[right.index] @ self.V[left.index].conj().T
+        )
+        return blk
+
+    def astype(self, dtype) -> "HODLRMatrix":
+        """Cast all stored blocks to ``dtype`` (single precision runs, Table IVb)."""
+        return HODLRMatrix(
+            tree=self.tree,
+            diag={k: v.astype(dtype) for k, v in self.diag.items()},
+            U={k: v.astype(dtype) for k, v in self.U.items()},
+            V={k: v.astype(dtype) for k, v in self.V.items()},
+        )
+
+    def copy(self) -> "HODLRMatrix":
+        return HODLRMatrix(
+            tree=self.tree,
+            diag={k: v.copy() for k, v in self.diag.items()},
+            U={k: v.copy() for k, v in self.U.items()},
+            V={k: v.copy() for k, v in self.V.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def approximation_error(self, dense: np.ndarray, norm: str = "fro") -> float:
+        """Relative error of the HODLR approximation against a dense reference."""
+        ref = np.linalg.norm(dense, ord=norm)
+        err = np.linalg.norm(self.to_dense() - dense, ord=norm)
+        return float(err / ref) if ref > 0 else float(err)
+
+    def storage_report(self) -> Dict[str, float]:
+        """Break the memory footprint into diagonal and low-rank contributions."""
+        diag_bytes = float(sum(d.nbytes for d in self.diag.values()))
+        basis_bytes = float(
+            sum(u.nbytes for u in self.U.values()) + sum(v.nbytes for v in self.V.values())
+        )
+        return {
+            "diag_bytes": diag_bytes,
+            "basis_bytes": basis_bytes,
+            "total_bytes": diag_bytes + basis_bytes,
+            "total_gb": (diag_bytes + basis_bytes) / 1.0e9,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HODLRMatrix(n={self.n}, levels={self.tree.levels}, "
+            f"max_rank={self.max_rank}, mem={self.memory_gb:.3g} GB, dtype={self.dtype})"
+        )
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _dense_evaluator(A: np.ndarray) -> BlockEvaluator:
+    def entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return A[np.ix_(rows, cols)]
+
+    return entries
+
+
+def build_hodlr(
+    source: Union[np.ndarray, BlockEvaluator],
+    tree: ClusterTree,
+    config: Optional[CompressionConfig] = None,
+    tol: Optional[float] = None,
+    method: Optional[str] = None,
+    max_rank: Optional[int] = None,
+    dtype=None,
+) -> HODLRMatrix:
+    """Build a HODLR approximation of ``source`` over ``tree``.
+
+    Parameters
+    ----------
+    source:
+        Either a dense ``(n, n)`` array or a callable
+        ``entries(rows, cols) -> ndarray`` that evaluates arbitrary
+        sub-blocks of the operator.
+    tree:
+        The cluster tree defining the tessellation.
+    config:
+        Compression options; individual keyword overrides (``tol``,
+        ``method``, ``max_rank``) take precedence over the config fields.
+    dtype:
+        Storage dtype; defaults to the dtype produced by the evaluator.
+    """
+    if config is None:
+        config = CompressionConfig()
+    if tol is not None or method is not None or max_rank is not None:
+        config = CompressionConfig(
+            tol=tol if tol is not None else config.tol,
+            max_rank=max_rank if max_rank is not None else config.max_rank,
+            method=method if method is not None else config.method,
+            oversampling=config.oversampling,
+            rng=config.rng,
+        )
+
+    if isinstance(source, np.ndarray):
+        if source.shape != (tree.n, tree.n):
+            raise ValueError(
+                f"dense source has shape {source.shape}, expected {(tree.n, tree.n)}"
+            )
+        evaluator = _dense_evaluator(source)
+        if dtype is None:
+            dtype = source.dtype
+    else:
+        evaluator = source
+        if dtype is None:
+            probe = np.asarray(evaluator(np.array([0]), np.array([0])))
+            dtype = probe.dtype
+
+    diag: Dict[int, np.ndarray] = {}
+    U: Dict[int, np.ndarray] = {}
+    V: Dict[int, np.ndarray] = {}
+
+    # dense diagonal blocks at the leaves
+    for leaf in tree.leaves:
+        rows = leaf.indices
+        diag[leaf.index] = np.asarray(evaluator(rows, rows), dtype=dtype)
+
+    # low-rank off-diagonal blocks for every sibling pair
+    for level in range(1, tree.levels + 1):
+        for left, right in tree.sibling_pairs(level):
+            rows_l, rows_r = left.indices, right.indices
+
+            def block_lr(r, c, _rl=rows_l, _rr=rows_r):
+                return evaluator(_rl[r], _rr[c])
+
+            def block_rl(r, c, _rl=rows_l, _rr=rows_r):
+                return evaluator(_rr[r], _rl[c])
+
+            lr = compress_block(block_lr, left.size, right.size, config, dtype=dtype)
+            rl = compress_block(block_rl, right.size, left.size, config, dtype=dtype)
+            # A(I_left, I_right) = U_left V_right^*    => U_left = lr.U, V_right = lr.V
+            # A(I_right, I_left) = U_right V_left^*    => U_right = rl.U, V_left = rl.V
+            U[left.index] = lr.U
+            V[right.index] = lr.V
+            U[right.index] = rl.U
+            V[left.index] = rl.V
+
+    return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
+
+
+def build_hodlr_from_dense(
+    A: np.ndarray,
+    tree: Optional[ClusterTree] = None,
+    leaf_size: int = 64,
+    tol: float = 1e-12,
+    method: str = "svd",
+    max_rank: Optional[int] = None,
+) -> HODLRMatrix:
+    """Convenience wrapper: compress a dense matrix into HODLR format."""
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("expected a square 2-D array")
+    if tree is None:
+        tree = ClusterTree.balanced(A.shape[0], leaf_size=leaf_size)
+    return build_hodlr(A, tree, tol=tol, method=method, max_rank=max_rank)

@@ -1,0 +1,159 @@
+"""Low-rank factors ``A(I_alpha, I_beta) ~= U V*`` (equation (5) of the paper).
+
+A :class:`LowRankFactor` stores the left basis ``U`` (shape ``m x r``) and the
+right basis ``V`` (shape ``n x r``) of an ``m x n`` block, so the block is
+reconstructed as ``U @ V.conj().T``.  The class carries the small amount of
+arithmetic needed elsewhere: application to vectors/matrices, recombination,
+truncation to a lower rank or tolerance, and error measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg as sla
+
+
+@dataclass
+class LowRankFactor:
+    """A rank-``r`` factorization ``B = U @ V.conj().T`` of an ``m x n`` block."""
+
+    U: np.ndarray
+    V: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.U = np.ascontiguousarray(self.U)
+        self.V = np.ascontiguousarray(self.V)
+        if self.U.ndim != 2 or self.V.ndim != 2:
+            raise ValueError("U and V must be 2-D")
+        if self.U.shape[1] != self.V.shape[1]:
+            raise ValueError(
+                f"rank mismatch: U has {self.U.shape[1]} columns, V has {self.V.shape[1]}"
+            )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.U.shape[0], self.V.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return self.U.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.result_type(self.U.dtype, self.V.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.U.nbytes + self.V.nbytes)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense block ``U @ V*``."""
+        return self.U @ self.V.conj().T
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the block to a vector or matrix: ``U (V* x)``."""
+        return self.U @ (self.V.conj().T @ x)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the conjugate transpose of the block: ``V (U* x)``."""
+        return self.V @ (self.U.conj().T @ x)
+
+    def transpose(self) -> "LowRankFactor":
+        """The factorization of the (conjugate) transposed block."""
+        return LowRankFactor(U=self.V.copy(), V=self.U.copy())
+
+    def scale(self, alpha: float) -> "LowRankFactor":
+        return LowRankFactor(U=alpha * self.U, V=self.V.copy())
+
+    def astype(self, dtype) -> "LowRankFactor":
+        return LowRankFactor(U=self.U.astype(dtype), V=self.V.astype(dtype))
+
+    # ------------------------------------------------------------------
+    # truncation
+    # ------------------------------------------------------------------
+    def recompress(
+        self, tol: Optional[float] = None, max_rank: Optional[int] = None
+    ) -> "LowRankFactor":
+        """Return an equivalent factor with (possibly) smaller rank.
+
+        The standard QR-based recompression: orthogonalise both bases, take
+        the SVD of the small ``r x r`` core, and truncate singular values
+        below ``tol`` (relative to the largest) or beyond ``max_rank``.
+        """
+        if self.rank == 0:
+            return self
+        Qu, Ru = np.linalg.qr(self.U)
+        Qv, Rv = np.linalg.qr(self.V)
+        core = Ru @ Rv.conj().T
+        Uc, s, Vch = np.linalg.svd(core, full_matrices=False)
+        keep = _truncation_count(s, tol, max_rank)
+        Uc = Uc[:, :keep] * s[:keep]
+        Vc = Vch[:keep, :].conj().T
+        return LowRankFactor(U=Qu @ Uc, V=Qv @ Vc)
+
+    def error_vs(self, dense_block: np.ndarray, norm: str = "fro") -> float:
+        """Absolute approximation error against a dense reference block."""
+        return float(np.linalg.norm(self.to_dense() - dense_block, ord=norm))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, m: int, n: int, dtype=np.float64) -> "LowRankFactor":
+        """A rank-0 factor of an ``m x n`` zero block."""
+        return cls(U=np.zeros((m, 0), dtype=dtype), V=np.zeros((n, 0), dtype=dtype))
+
+    @classmethod
+    def from_dense(
+        cls,
+        block: np.ndarray,
+        tol: Optional[float] = None,
+        max_rank: Optional[int] = None,
+    ) -> "LowRankFactor":
+        """Compress a dense block with a truncated SVD (exact reference path)."""
+        block = np.asarray(block)
+        if block.size == 0:
+            return cls.zeros(block.shape[0], block.shape[1], block.dtype)
+        U, s, Vh = sla.svd(block, full_matrices=False, check_finite=False)
+        keep = _truncation_count(s, tol, max_rank)
+        return cls(U=U[:, :keep] * s[:keep], V=Vh[:keep, :].conj().T)
+
+    def pad_rank(self, rank: int) -> "LowRankFactor":
+        """Zero-pad the bases to a target rank (used for uniform-rank layouts)."""
+        if rank < self.rank:
+            raise ValueError("pad_rank cannot reduce the rank; use recompress")
+        if rank == self.rank:
+            return self
+        m, n = self.shape
+        U = np.zeros((m, rank), dtype=self.dtype)
+        V = np.zeros((n, rank), dtype=self.dtype)
+        U[:, : self.rank] = self.U
+        V[:, : self.rank] = self.V
+        return LowRankFactor(U=U, V=V)
+
+
+def _truncation_count(
+    s: np.ndarray, tol: Optional[float], max_rank: Optional[int]
+) -> int:
+    """Number of singular values to keep for a relative tolerance / rank cap."""
+    if s.size == 0:
+        return 0
+    if s[0] == 0.0:
+        # an exactly zero block: keep nothing regardless of the tolerance
+        return 0
+    keep = s.size
+    if tol is not None:
+        keep = int(np.sum(s > tol * s[0]))
+        keep = max(keep, 1)
+    if max_rank is not None:
+        keep = min(keep, int(max_rank))
+    return keep

@@ -1,0 +1,203 @@
+"""User-facing solver API wrapping the three factorization variants.
+
+:class:`HODLRSolver` is the main entry point of the library:
+
+>>> from repro import ClusterTree, build_hodlr, HODLRSolver
+>>> tree = ClusterTree.balanced(n, leaf_size=64)                # doctest: +SKIP
+>>> A = build_hodlr(entries, tree, tol=1e-10, method="rook")    # doctest: +SKIP
+>>> solver = HODLRSolver(A, variant="batched").factorize()      # doctest: +SKIP
+>>> x = solver.solve(b)                                         # doctest: +SKIP
+
+Variants
+--------
+``"recursive"``
+    The per-node recursion of section III-A (reference; also the engine of
+    the HODLRlib-style CPU baseline).
+``"flat"``
+    Algorithms 1 & 2: level loops over the concatenated storage with one
+    LAPACK call per block.
+``"batched"``
+    Algorithms 3 & 4: the GPU schedule on the batched backend, with kernel
+    traces available for performance modeling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..backends.batched import BatchedBackend
+from ..backends.counters import KernelTrace
+from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
+from .bigdata import BigMatrices
+from .factor_batched import BatchedFactorization
+from .factor_flat import FlatFactorization
+from .factor_recursive import RecursiveFactorization
+from .hodlr import HODLRMatrix
+
+_VARIANTS = ("recursive", "flat", "batched")
+
+
+@dataclass
+class SolveStats:
+    """Timings and diagnostics collected by :class:`HODLRSolver`."""
+
+    factor_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    factorization_bytes: int = 0
+    relative_residual: Optional[float] = None
+
+    @property
+    def factorization_gb(self) -> float:
+        return self.factorization_bytes / 1.0e9
+
+
+class HODLRSolver:
+    """Factorize a :class:`HODLRMatrix` and solve linear systems with it.
+
+    Parameters
+    ----------
+    hodlr:
+        The HODLR approximation of the coefficient matrix.
+    variant:
+        ``"recursive"``, ``"flat"`` or ``"batched"`` (default).
+    dtype:
+        Optional dtype override; ``np.float32`` reproduces the paper's
+        single-precision runs (Table IVb).
+    pivot:
+        Partial pivoting in the reduced ``K`` systems (batched variant only).
+    stream_cutoff:
+        Node-count threshold below which the batched variant dispatches on
+        emulated CUDA streams.
+    """
+
+    def __init__(
+        self,
+        hodlr: HODLRMatrix,
+        variant: str = "batched",
+        dtype=None,
+        pivot: bool = True,
+        stream_cutoff: int = 4,
+        backend: Optional[BatchedBackend] = None,
+    ) -> None:
+        if variant not in _VARIANTS:
+            raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+        self.variant = variant
+        self.hodlr = hodlr if dtype is None else hodlr.astype(dtype)
+        self.pivot = pivot
+        self.stream_cutoff = stream_cutoff
+        self.backend = backend or BatchedBackend()
+        self.stats = SolveStats()
+        self._impl: Optional[
+            Union[RecursiveFactorization, FlatFactorization, BatchedFactorization]
+        ] = None
+        self._bigdata: Optional[BigMatrices] = None
+
+    # ------------------------------------------------------------------
+    # factorization
+    # ------------------------------------------------------------------
+    def factorize(self) -> "HODLRSolver":
+        t0 = time.perf_counter()
+        if self.variant == "recursive":
+            self._impl = RecursiveFactorization(hodlr=self.hodlr).factorize()
+            self.stats.factorization_bytes = self._impl.factorization_nbytes()
+        elif self.variant == "flat":
+            self._bigdata = BigMatrices.from_hodlr(self.hodlr)
+            self._impl = FlatFactorization(data=self._bigdata).factorize()
+            self.stats.factorization_bytes = self._impl.factorization_nbytes()
+        else:
+            self._bigdata = BigMatrices.from_hodlr(self.hodlr)
+            self._impl = BatchedFactorization(
+                data=self._bigdata,
+                backend=self.backend,
+                pivot=self.pivot,
+                stream_cutoff=self.stream_cutoff,
+            ).factorize()
+            self.stats.factorization_bytes = self._impl.factorization_nbytes()
+        self.stats.factor_seconds = time.perf_counter() - t0
+        return self
+
+    @property
+    def factored(self) -> bool:
+        return self._impl is not None
+
+    def _require_factored(self):
+        if self._impl is None:
+            raise RuntimeError("call factorize() first")
+        return self._impl
+
+    # ------------------------------------------------------------------
+    # solve / apply
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, compute_residual: bool = False) -> np.ndarray:
+        """Solve ``A x = b``; ``b`` may contain multiple right-hand sides."""
+        impl = self._require_factored()
+        t0 = time.perf_counter()
+        x = impl.solve(b)
+        self.stats.solve_seconds = time.perf_counter() - t0
+        if compute_residual:
+            self.stats.relative_residual = self.relative_residual(x, b)
+        return x
+
+    def relative_residual(self, x: np.ndarray, b: np.ndarray) -> float:
+        """``||b - A x|| / ||b||`` using the HODLR matvec (the paper's relres)."""
+        r = np.asarray(b) - self.hodlr.matvec(x)
+        denom = np.linalg.norm(b)
+        return float(np.linalg.norm(r) / denom) if denom > 0 else float(np.linalg.norm(r))
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.hodlr.matvec(x)
+
+    # ------------------------------------------------------------------
+    # determinant
+    # ------------------------------------------------------------------
+    def slogdet(self) -> Tuple[complex, float]:
+        return self._require_factored().slogdet()
+
+    def logdet(self) -> float:
+        return self._require_factored().logdet()
+
+    # ------------------------------------------------------------------
+    # traces & performance modeling (batched variant only)
+    # ------------------------------------------------------------------
+    @property
+    def factor_trace(self) -> Optional[KernelTrace]:
+        impl = self._require_factored()
+        return getattr(impl, "factor_trace", None)
+
+    @property
+    def last_solve_trace(self) -> Optional[KernelTrace]:
+        impl = self._require_factored()
+        return getattr(impl, "last_solve_trace", None)
+
+    def modeled_times(
+        self, model: Optional[PerformanceModel] = None
+    ) -> Dict[str, ExecutionEstimate]:
+        """Estimate device execution times of the recorded kernel traces.
+
+        Only meaningful for the ``"batched"`` variant; returns a dict with
+        keys ``"factorization"`` and (if a solve has been run)
+        ``"solution"``.
+        """
+        model = model or PerformanceModel()
+        out: Dict[str, ExecutionEstimate] = {}
+        if self.factor_trace is not None:
+            out["factorization"] = model.estimate(self.factor_trace)
+        if self.last_solve_trace is not None:
+            out["solution"] = model.estimate(self.last_solve_trace)
+        return out
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    @property
+    def memory_gb(self) -> float:
+        """Memory of the factorization in GB (the ``mem`` column of the tables)."""
+        return self.stats.factorization_bytes / 1.0e9
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "factored" if self.factored else "unfactored"
+        return f"HODLRSolver(n={self.hodlr.n}, variant={self.variant!r}, {state})"

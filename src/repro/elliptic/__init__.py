@@ -1,0 +1,35 @@
+"""Elliptic PDE substrate: sparse discretizations and HODLR-compressed Schur complements.
+
+The third application listed in the paper's introduction: the
+discretization of an elliptic PDE
+
+.. math:: -\\nabla\\cdot(a(x)\\nabla u(x)) + b(x) u(x) = f(x)
+
+produces a sparse system whose direct factorization is dominated by dense
+Schur complements on the separator fronts; those Schur complements are
+rank-structured and can be compressed with HODLR approximations
+("superfast" multifrontal solvers, references [2], [11], [12] of the
+paper).
+
+This subpackage provides the full pipeline at the level of a one-level
+domain decomposition (two subdomains and one separator):
+
+* :mod:`grid`    — regular 2-D grids and index partitions;
+* :mod:`poisson` — 5-point finite-difference assembly of the variable
+  coefficient operator with Dirichlet boundary conditions;
+* :mod:`schur`   — elimination of the subdomain interiors, matrix-free
+  construction of the separator Schur complement (via the peeling
+  algorithm of :mod:`repro.core.peeling`), HODLR factorization of the
+  Schur complement, and the complete solve of the original sparse system.
+"""
+
+from .grid import RegularGrid2D
+from .poisson import assemble_poisson_2d, poisson_manufactured_solution
+from .schur import SchurComplementSolver
+
+__all__ = [
+    "RegularGrid2D",
+    "assemble_poisson_2d",
+    "poisson_manufactured_solution",
+    "SchurComplementSolver",
+]

@@ -1,0 +1,136 @@
+"""Finite-difference assembly of 2-D variable-coefficient elliptic operators.
+
+Discretizes
+
+.. math:: -\\nabla\\cdot(a(x, y)\\nabla u) + b(x, y)\\, u = f
+
+on the unit square with homogeneous Dirichlet boundary conditions, using
+the standard 5-point scheme with harmonic-free (midpoint) coefficient
+evaluation:
+
+.. math::
+    (A u)_{ij} = \\frac{1}{h_x^2}\\big(a_{i+1/2,j}(u_{ij}-u_{i+1,j})
+                                   + a_{i-1/2,j}(u_{ij}-u_{i-1,j})\\big)
+               + \\frac{1}{h_y^2}\\big(\\cdots\\big) + b_{ij} u_{ij}.
+
+The resulting matrix is sparse, symmetric positive definite for
+``a > 0, b >= 0``, and its separator Schur complements are the
+rank-structured dense blocks the paper's introduction points to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .grid import RegularGrid2D
+
+Coefficient = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _as_coefficient(c) -> Coefficient:
+    if callable(c):
+        return c
+    value = float(c)
+    return lambda x, y: np.full_like(np.asarray(x, dtype=float), value)
+
+
+def assemble_poisson_2d(
+    grid: RegularGrid2D,
+    a: Optional[Coefficient] = None,
+    b: Optional[Coefficient] = None,
+) -> sp.csr_matrix:
+    """Assemble the 5-point finite-difference matrix on ``grid``.
+
+    Parameters
+    ----------
+    grid:
+        The interior grid.
+    a:
+        Diffusion coefficient ``a(x, y) > 0`` (callable or constant; default 1).
+    b:
+        Reaction coefficient ``b(x, y) >= 0`` (callable or constant; default 0).
+    """
+    a_fn = _as_coefficient(1.0 if a is None else a)
+    b_fn = _as_coefficient(0.0 if b is None else b)
+    nx, ny = grid.nx, grid.ny
+    hx, hy = grid.spacing
+    n = grid.num_points
+
+    rows, cols, vals = [], [], []
+
+    def coeff_x(i_half: np.ndarray, j: np.ndarray) -> np.ndarray:
+        # a evaluated at the x-midpoint between grid columns i_half-1/2
+        x = (i_half + 0.5 + 1) * hx - 0.5 * hx
+        y = (j + 1) * hy
+        return a_fn(x, y)
+
+    def coeff_y(i: np.ndarray, j_half: np.ndarray) -> np.ndarray:
+        x = (i + 1) * hx
+        y = (j_half + 0.5 + 1) * hy - 0.5 * hy
+        return a_fn(x, y)
+
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    i = i.ravel()
+    j = j.ravel()
+    center = grid.flat_index(i, j)
+    x = (i + 1) * hx
+    y = (j + 1) * hy
+
+    a_e = coeff_x(i, j)          # face between (i, j) and (i+1, j)
+    a_w = coeff_x(i - 1, j)      # face between (i-1, j) and (i, j)
+    a_n = coeff_y(i, j)          # face between (i, j) and (i, j+1)
+    a_s = coeff_y(i, j - 1)      # face between (i, j-1) and (i, j)
+
+    diag = a_e / hx ** 2 + a_w / hx ** 2 + a_n / hy ** 2 + a_s / hy ** 2 + b_fn(x, y)
+    rows.append(center)
+    cols.append(center)
+    vals.append(diag)
+
+    # east neighbours (i + 1, j)
+    mask = i + 1 < nx
+    rows.append(center[mask])
+    cols.append(grid.flat_index(i[mask] + 1, j[mask]))
+    vals.append(-a_e[mask] / hx ** 2)
+    # west neighbours
+    mask = i - 1 >= 0
+    rows.append(center[mask])
+    cols.append(grid.flat_index(i[mask] - 1, j[mask]))
+    vals.append(-a_w[mask] / hx ** 2)
+    # north neighbours (i, j + 1)
+    mask = j + 1 < ny
+    rows.append(center[mask])
+    cols.append(grid.flat_index(i[mask], j[mask] + 1))
+    vals.append(-a_n[mask] / hy ** 2)
+    # south neighbours
+    mask = j - 1 >= 0
+    rows.append(center[mask])
+    cols.append(grid.flat_index(i[mask], j[mask] - 1))
+    vals.append(-a_s[mask] / hy ** 2)
+
+    A = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))), shape=(n, n)
+    )
+    return A.tocsr()
+
+
+def poisson_manufactured_solution(
+    grid: RegularGrid2D,
+    a: Optional[Coefficient] = None,
+    b: Optional[Coefficient] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A manufactured solution/right-hand-side pair for convergence tests.
+
+    Uses ``u(x, y) = sin(pi x) sin(2 pi y)`` (which satisfies the homogeneous
+    Dirichlet condition) and computes ``f = -div(a grad u) + b u`` by applying
+    the *discrete* operator to the sampled exact solution, so the pair is
+    exactly consistent at the discrete level (solver tests) while remaining a
+    good approximation of the continuum problem.
+    """
+    coords = grid.coordinates()
+    u_exact = np.sin(np.pi * coords[:, 0]) * np.sin(2 * np.pi * coords[:, 1])
+    A = assemble_poisson_2d(grid, a=a, b=b)
+    f = A @ u_exact
+    return u_exact, f

@@ -1,0 +1,47 @@
+"""Kernel functions and kernel-matrix assembly (paper, section IV-A).
+
+The paper's first application is solving linear systems with kernel
+matrices ``K[i, j] = K(y_i, y_j)`` over a point set.  This subpackage
+provides
+
+* point-cloud generators (:mod:`points`),
+* the Rotne-Prager-Yamakawa tensor kernel used in Table III (:mod:`rpy`),
+* standard machine-learning kernels — Gaussian/RBF, Matern, exponential,
+  inverse-multiquadric (:mod:`radial`),
+* a :class:`KernelMatrix` wrapper that evaluates arbitrary sub-blocks
+  lazily, which is exactly the interface HODLR construction needs
+  (:mod:`kernel_matrix`).
+"""
+
+from .points import (
+    uniform_points,
+    gaussian_mixture_points,
+    points_on_circle,
+    points_on_sphere,
+    regular_grid_points,
+)
+from .radial import (
+    GaussianKernel,
+    MaternKernel,
+    ExponentialKernel,
+    InverseMultiquadricKernel,
+    ThinPlateSplineKernel,
+)
+from .rpy import RPYKernel, rpy_scalar_kernel
+from .kernel_matrix import KernelMatrix
+
+__all__ = [
+    "uniform_points",
+    "gaussian_mixture_points",
+    "points_on_circle",
+    "points_on_sphere",
+    "regular_grid_points",
+    "GaussianKernel",
+    "MaternKernel",
+    "ExponentialKernel",
+    "InverseMultiquadricKernel",
+    "ThinPlateSplineKernel",
+    "RPYKernel",
+    "rpy_scalar_kernel",
+    "KernelMatrix",
+]

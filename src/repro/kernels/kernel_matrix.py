@@ -1,0 +1,107 @@
+"""Lazy kernel-matrix assembly for HODLR construction.
+
+:class:`KernelMatrix` binds a kernel function to a (tree-ordered) point set
+and exposes
+
+* ``entries(rows, cols)`` — the block evaluator consumed by
+  :func:`repro.core.build_hodlr`,
+* ``dense()`` — the explicit matrix (tests, small problems),
+* ``matvec(x)`` — matrix-vector products evaluated block-wise so the dense
+  matrix is never materialised for large ``N``,
+* ``to_hodlr(...)`` — one-call construction of the HODLR approximation,
+  including the kd-tree permutation of the points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.cluster_tree import ClusterTree
+from ..core.compression import CompressionConfig
+from ..core.hodlr import HODLRMatrix, build_hodlr
+
+KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class KernelMatrix:
+    """A kernel matrix ``K[i, j] = kernel(points[i], points[j])`` (+ diagonal shift)."""
+
+    kernel: KernelFn
+    points: np.ndarray
+    #: added to the diagonal (regularisation / nugget), common in GP regression
+    diagonal_shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=float)
+        # 1-D inputs are interpreted as n points on the real line
+        self.points = pts.reshape(-1, 1) if pts.ndim == 1 else pts
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n, self.n)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def entries(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        block = np.asarray(self.kernel(self.points[rows], self.points[cols]))
+        if self.diagonal_shift:
+            same = rows[:, None] == cols[None, :]
+            block = block + self.diagonal_shift * same
+        return block
+
+    def dense(self) -> np.ndarray:
+        return self.entries(np.arange(self.n), np.arange(self.n))
+
+    def matvec(self, x: np.ndarray, block_size: int = 2048) -> np.ndarray:
+        """``K @ x`` evaluated in row blocks of ``block_size`` (O(N) memory)."""
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        X = x.reshape(-1, 1) if squeeze else x
+        cols = np.arange(self.n)
+        out = np.zeros((self.n, X.shape[1]), dtype=np.result_type(X.dtype, float))
+        for start in range(0, self.n, block_size):
+            stop = min(start + block_size, self.n)
+            out[start:stop] = self.entries(np.arange(start, stop), cols) @ X
+        return out.ravel() if squeeze else out
+
+    # ------------------------------------------------------------------
+    # HODLR construction
+    # ------------------------------------------------------------------
+    def to_hodlr(
+        self,
+        leaf_size: int = 64,
+        tol: float = 1e-10,
+        method: str = "rook",
+        max_rank: Optional[int] = None,
+        reorder: bool = True,
+    ) -> Tuple[HODLRMatrix, np.ndarray]:
+        """Build a HODLR approximation of the kernel matrix.
+
+        Returns ``(hodlr, perm)`` where ``perm`` is the kd-tree reordering of
+        the points: the HODLR matrix approximates ``K[perm][:, perm]``.  When
+        ``reorder=False`` the natural point order is used (appropriate when
+        the points already follow a space-filling order, e.g. a contour).
+        """
+        if reorder:
+            tree, perm = ClusterTree.from_points(self.points, leaf_size=leaf_size)
+        else:
+            tree = ClusterTree.balanced(self.n, leaf_size=leaf_size)
+            perm = np.arange(self.n)
+
+        permuted = KernelMatrix(
+            kernel=self.kernel, points=self.points[perm], diagonal_shift=self.diagonal_shift
+        )
+        config = CompressionConfig(tol=tol, max_rank=max_rank, method=method)
+        hodlr = build_hodlr(permuted.entries, tree, config=config)
+        return hodlr, perm

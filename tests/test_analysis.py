@@ -1,0 +1,124 @@
+"""Tests for the complexity formulas, rank profiling and accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterTree, build_hodlr
+from repro.analysis.accuracy import relative_error, relative_residual, solution_error_norms
+from repro.analysis.complexity import (
+    ComplexityModel,
+    default_num_levels,
+    hodlr_factorization_flops,
+    hodlr_solve_flops,
+    hodlr_storage_entries,
+)
+from repro.analysis.ranks import PAPER_APPENDIX_RANKS, compare_to_reference, rank_profile, rank_table
+from conftest import hodlr_friendly_matrix
+
+
+class TestComplexityFormulas:
+    def test_default_levels(self):
+        assert default_num_levels(2 ** 17, 64) == 11
+        assert default_num_levels(100, 64) == 1
+        assert default_num_levels(64, 64) == 1
+
+    def test_theorem2_storage(self):
+        # m N + 2 r N L with N = 2^10, m = 64, r = 8, L = 4
+        val = hodlr_storage_entries(1024, 8, 64, levels=4)
+        assert val == 64 * 1024 + 2 * 8 * 1024 * 4
+
+    def test_theorem3_factorization(self):
+        n, r, m, L = 1024, 8, 64, 4
+        expected = 2 / 3 * m ** 2 * n + 2 * m * r * n * L + 2 * r ** 2 * n * (L + L ** 2)
+        assert hodlr_factorization_flops(n, r, m, levels=L) == pytest.approx(expected)
+
+    def test_theorem4_solution(self):
+        n, r, m, L = 1024, 8, 64, 4
+        assert hodlr_solve_flops(n, r, m, levels=L) == pytest.approx(2 * m * n + 4 * r * n * L)
+
+    def test_solution_cost_is_twice_storage(self):
+        """Paper observation: t_s ~= 2 x storage (every stored entry is touched once)."""
+        n, r, m, L = 2 ** 16, 10, 64, 10
+        storage = hodlr_storage_entries(n, r, m, levels=L)
+        solve = hodlr_solve_flops(n, r, m, levels=L)
+        assert solve == pytest.approx(2 * storage)
+
+    def test_near_linear_scaling(self):
+        """Factorization cost grows like N log^2 N: doubling N grows cost by ~2x(1+o(1))."""
+        model = ComplexityModel(rank=10, leaf_size=64)
+        ratios = []
+        for n in [2 ** 17, 2 ** 18, 2 ** 19]:
+            ratios.append(model.factorization_flops(2 * n) / model.factorization_flops(n))
+        assert all(2.0 < r < 2.6 for r in ratios)
+        # and the ratio decreases towards 2 as N grows (log factor matters less)
+        assert ratios[-1] < ratios[0] + 0.05
+
+    def test_guide_curves(self):
+        model = ComplexityModel(rank=5)
+        ns = np.array([1e5, 1e6])
+        fac = model.guide_curve(ns, "factorization")
+        sol = model.guide_curve(ns, "solution")
+        sto = model.guide_curve(ns, "storage")
+        assert fac[0] == 1.0 and sol[0] == 1.0
+        assert fac[1] > sto[1] > sol[1]
+        with pytest.raises(ValueError):
+            model.guide_curve(ns, "unknown")
+
+    def test_storage_bytes_scaling(self):
+        model = ComplexityModel(rank=10, leaf_size=64, dtype_size=8)
+        assert model.storage_bytes(2 ** 20) > model.storage_bytes(2 ** 19) * 1.9
+
+
+class TestRankAnalysis:
+    def test_rank_profile_and_table(self):
+        A = hodlr_friendly_matrix(256, seed=14)
+        tree = ClusterTree.balanced(256, leaf_size=32)
+        H = build_hodlr(A, tree, tol=1e-10, method="svd")
+        profile = rank_profile(H)
+        table = rank_table(H)
+        assert len(profile) == tree.levels
+        assert set(table) == set(range(1, tree.levels + 1))
+        for level, stats in table.items():
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+            assert stats["max"] <= profile[level - 1]
+
+    def test_paper_appendix_values_present(self):
+        assert len(PAPER_APPENDIX_RANKS["table3_rpy_n2e21"]) == 15
+        assert len(PAPER_APPENDIX_RANKS["table4a_laplace_n2e22"]) == 16
+        assert len(PAPER_APPENDIX_RANKS["table4b_laplace_n2e24"]) == 18
+        assert len(PAPER_APPENDIX_RANKS["table5a_helmholtz_n2e19"]) == 13
+        assert len(PAPER_APPENDIX_RANKS["table5b_helmholtz_n2e20"]) == 14
+        # Helmholtz top-level ranks exceed Laplace top-level ranks
+        assert PAPER_APPENDIX_RANKS["table5a_helmholtz_n2e19"][0] > \
+            PAPER_APPENDIX_RANKS["table4a_laplace_n2e22"][0]
+
+    def test_compare_to_reference(self):
+        stats = compare_to_reference([10, 9, 8], [10, 10, 10, 10])
+        assert stats["levels_compared"] == 3
+        assert stats["max_ratio"] == 1.0
+        assert stats["min_ratio"] == pytest.approx(0.8)
+
+
+class TestAccuracyMetrics:
+    def test_relative_residual_variants(self, rng):
+        A = hodlr_friendly_matrix(128, seed=15)
+        x = rng.standard_normal(128)
+        b = A @ x
+        assert relative_residual(A, x, b) < 1e-12
+        assert relative_residual(lambda v: A @ v, x, b) < 1e-12
+        tree = ClusterTree.balanced(128, leaf_size=32)
+        H = build_hodlr(A, tree, tol=1e-12, method="svd")
+        assert relative_residual(H, x, b) < 1e-9
+
+    def test_relative_error(self):
+        assert relative_error(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 0.0
+        assert relative_error(np.array([2.0, 0.0]), np.array([1.0, 0.0])) == 1.0
+        assert relative_error(np.array([1.0]), np.array([0.0])) == 1.0
+
+    def test_solution_error_norms(self, rng):
+        x_ref = rng.standard_normal(50)
+        x = x_ref + 1e-3
+        norms = solution_error_norms(x, x_ref)
+        assert norms["abs_max"] == pytest.approx(1e-3)
+        assert norms["abs_2norm"] == pytest.approx(1e-3 * np.sqrt(50))
+        assert norms["rel_2norm"] > 0

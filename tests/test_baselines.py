@@ -1,0 +1,164 @@
+"""Tests for the baseline solvers (dense LU, HODLRlib-style CPU, block-sparse)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockSparseSolver,
+    ClusterTree,
+    DenseLUSolver,
+    HODLRlibStyleSolver,
+    HODLRSolver,
+    build_hodlr,
+)
+from repro.baselines.block_sparse import extended_sparse_system
+from conftest import hodlr_friendly_matrix, complex_test_matrix
+
+
+@pytest.fixture
+def problem():
+    n = 256
+    A = hodlr_friendly_matrix(n, seed=12)
+    tree = ClusterTree.balanced(n, leaf_size=32)
+    H = build_hodlr(A, tree, tol=1e-12, method="svd")
+    return A, H
+
+
+class TestDenseLU:
+    def test_solve(self, problem, rng):
+        A, _ = problem
+        solver = DenseLUSolver(matrix=A).factorize()
+        b = rng.standard_normal(A.shape[0])
+        x = solver.solve(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-12
+        assert solver.factor_seconds > 0
+
+    def test_requires_factorization(self, problem):
+        A, _ = problem
+        with pytest.raises(RuntimeError):
+            DenseLUSolver(matrix=A).solve(np.ones(A.shape[0]))
+
+    def test_cost_formulas(self):
+        assert DenseLUSolver.factorization_flops(100) == pytest.approx(2 / 3 * 1e6)
+        assert DenseLUSolver.solve_flops(100, 2) == pytest.approx(4e4)
+        assert DenseLUSolver.storage_bytes(1000) == 8e6
+        tf, ts = DenseLUSolver.modeled_times(10000)
+        assert tf > 0 and ts > 0
+
+
+class TestHODLRlibStyle:
+    def test_solution_matches_gpu_solver(self, problem, rng):
+        A, H = problem
+        cpu = HODLRlibStyleSolver(hodlr=H).factorize()
+        gpu = HODLRSolver(H, variant="batched").factorize()
+        b = rng.standard_normal(A.shape[0])
+        x_cpu = cpu.solve(b)
+        x_gpu = gpu.solve(b)
+        np.testing.assert_allclose(x_cpu, x_gpu, rtol=1e-9, atol=1e-11)
+        assert np.linalg.norm(A @ x_cpu - b) / np.linalg.norm(b) < 1e-9
+
+    def test_logdet_and_memory(self, problem):
+        A, H = problem
+        cpu = HODLRlibStyleSolver(hodlr=H).factorize()
+        assert cpu.logdet() == pytest.approx(np.linalg.slogdet(A)[1], rel=1e-8)
+        assert cpu.memory_gb > 0
+
+    def test_modeled_times_structure(self, problem):
+        _, H = problem
+        serial = HODLRlibStyleSolver(hodlr=H, parallel=False)
+        parallel = HODLRlibStyleSolver(hodlr=H, parallel=True)
+        tf_serial = serial.modeled_factor_time()
+        tf_parallel = parallel.modeled_factor_time()
+        ts_serial = serial.modeled_solve_time()
+        # level-parallel execution is faster than serial, factorization dominates solve
+        assert tf_parallel < tf_serial
+        assert tf_serial > ts_serial
+        assert serial.total_factor_flops() > serial.total_solve_flops()
+
+    def test_modeled_flops_match_theory_order(self, problem):
+        """Measured flop counts stay within a small factor of the Theorem 3/4 estimates."""
+        from repro.analysis.complexity import hodlr_factorization_flops, hodlr_solve_flops
+
+        _, H = problem
+        cpu = HODLRlibStyleSolver(hodlr=H)
+        r = max(H.rank_profile())
+        m = H.tree.leaves[0].size
+        theory_f = hodlr_factorization_flops(H.n, r, m, levels=H.tree.levels)
+        theory_s = hodlr_solve_flops(H.n, r, m, levels=H.tree.levels)
+        assert 0.05 * theory_f < cpu.total_factor_flops() < 20 * theory_f
+        assert 0.05 * theory_s < cpu.total_solve_flops() < 20 * theory_s
+
+    def test_requires_factorization(self, problem):
+        _, H = problem
+        with pytest.raises(RuntimeError):
+            HODLRlibStyleSolver(hodlr=H).solve(np.ones(H.n))
+
+
+class TestBlockSparse:
+    def test_extended_system_size(self, problem):
+        _, H = problem
+        S, _, n_aux = extended_sparse_system(H)
+        expected_aux = sum(H.U[idx].shape[1] for level in range(1, H.tree.levels + 1)
+                           for idx in H.tree.level_indices(level))
+        assert n_aux == expected_aux
+        assert S.shape == (H.n + n_aux, H.n + n_aux)
+
+    def test_extended_system_equivalence(self, problem, rng):
+        """Eliminating the auxiliary variables of the sparse embedding recovers A x = b."""
+        A, H = problem
+        S, _, n_aux = extended_sparse_system(H)
+        b = rng.standard_normal(H.n)
+        rhs = np.concatenate([b, np.zeros(n_aux)])
+        full = np.linalg.solve(S.toarray(), rhs)
+        x = full[: H.n]
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_solver_matches_dense(self, problem, rng):
+        A, H = problem
+        solver = BlockSparseSolver(hodlr=H).factorize()
+        b = rng.standard_normal(A.shape[0])
+        x = solver.solve(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-9
+        assert solver.sparse_nnz > 0
+        assert solver.factor_nnz > 0
+        assert solver.memory_gb > 0
+
+    def test_solver_matches_hodlr_solver(self, problem, rng):
+        A, H = problem
+        bs = BlockSparseSolver(hodlr=H).factorize()
+        hs = HODLRSolver(H, variant="batched").factorize()
+        b = rng.standard_normal(A.shape[0])
+        np.testing.assert_allclose(bs.solve(b), hs.solve(b), rtol=1e-8, atol=1e-10)
+
+    def test_multiple_rhs(self, problem, rng):
+        A, H = problem
+        solver = BlockSparseSolver(hodlr=H).factorize()
+        B = rng.standard_normal((A.shape[0], 3))
+        X = solver.solve(B)
+        assert np.linalg.norm(A @ X - B) / np.linalg.norm(B) < 1e-9
+
+    def test_complex_system(self, rng):
+        n = 128
+        A = complex_test_matrix(n, seed=13)
+        tree = ClusterTree.balanced(n, leaf_size=16)
+        H = build_hodlr(A, tree, tol=1e-12, method="svd")
+        solver = BlockSparseSolver(hodlr=H).factorize()
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = solver.solve(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_modeled_parallel_times(self, problem):
+        _, H = problem
+        solver = BlockSparseSolver(hodlr=H).factorize()
+        tf, ts = solver.modeled_parallel_times()
+        assert tf > 0 and ts > 0
+        # flop estimates are available after factorization
+        assert solver.factor_flops_estimate() > 0
+        assert solver.solve_flops_estimate() > 0
+
+    def test_requires_factorization(self, problem):
+        _, H = problem
+        with pytest.raises(RuntimeError):
+            BlockSparseSolver(hodlr=H).solve(np.ones(H.n))
+        with pytest.raises(RuntimeError):
+            BlockSparseSolver(hodlr=H).modeled_parallel_times()

@@ -1,0 +1,163 @@
+"""Unit tests for cluster trees (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterTree
+from repro.core.cluster_tree import TreeNode
+
+
+class TestConstruction:
+    def test_balanced_basic(self):
+        tree = ClusterTree.balanced(400, levels=2)
+        assert tree.n == 400
+        assert tree.levels == 2
+        assert tree.num_leaves == 4
+        assert tree.num_nodes == 7
+        tree.validate()
+
+    def test_balanced_leaf_size(self):
+        tree = ClusterTree.balanced(1024, leaf_size=64)
+        assert tree.levels == 4
+        assert all(leaf.size == 64 for leaf in tree.leaves)
+
+    def test_balanced_leaf_size_non_power_of_two(self):
+        tree = ClusterTree.balanced(1000, leaf_size=64)
+        tree.validate()
+        assert sum(leaf.size for leaf in tree.leaves) == 1000
+        assert max(leaf.size for leaf in tree.leaves) <= 64
+
+    def test_explicit_levels_override_leaf_size(self):
+        tree = ClusterTree.balanced(256, leaf_size=8, levels=2)
+        assert tree.levels == 2
+
+    def test_too_many_levels_raises(self):
+        with pytest.raises(ValueError):
+            ClusterTree(16, levels=5)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ClusterTree(1, levels=1)
+
+    def test_zero_levels_raises(self):
+        with pytest.raises(ValueError):
+            ClusterTree(16, levels=0)
+
+
+class TestPaperExample:
+    """The 400-index, 2-level example of Fig. 1 in the paper."""
+
+    def test_fig1_index_ranges(self):
+        tree = ClusterTree(400, levels=2)
+        # paper uses 1-based inclusive ranges; we use 0-based half-open
+        assert (tree.node(1).start, tree.node(1).stop) == (0, 400)
+        assert (tree.node(2).start, tree.node(2).stop) == (0, 200)
+        assert (tree.node(3).start, tree.node(3).stop) == (200, 400)
+        assert (tree.node(4).start, tree.node(4).stop) == (0, 100)
+        assert (tree.node(5).start, tree.node(5).stop) == (100, 200)
+        assert (tree.node(7).start, tree.node(7).stop) == (300, 400)
+
+    def test_fig1_relationships(self):
+        tree = ClusterTree(400, levels=2)
+        node2 = tree.node(2)
+        left, right = tree.children(node2)
+        assert left.index == 4 and right.index == 5
+        assert tree.sibling(left).index == 5
+        assert tree.parent(left).index == 2
+
+    def test_level_counts(self):
+        tree = ClusterTree(400, levels=2)
+        for level in range(3):
+            assert len(tree.level_nodes(level)) == 2 ** level
+
+
+class TestNodeProperties:
+    def test_node_indices_array(self):
+        tree = ClusterTree(64, levels=2)
+        node = tree.node(5)
+        np.testing.assert_array_equal(node.indices, np.arange(node.start, node.stop))
+
+    def test_root_properties(self):
+        tree = ClusterTree(64, levels=2)
+        assert tree.root.is_root
+        with pytest.raises(ValueError):
+            tree.parent(tree.root)
+        with pytest.raises(ValueError):
+            tree.sibling(tree.root)
+
+    def test_leaf_has_no_children(self):
+        tree = ClusterTree(64, levels=2)
+        leaf = tree.leaves[0]
+        assert tree.is_leaf(leaf)
+        with pytest.raises(ValueError):
+            tree.children(leaf)
+
+    def test_unknown_node_raises(self):
+        tree = ClusterTree(64, levels=2)
+        with pytest.raises(KeyError):
+            tree.node(100)
+
+    def test_iteration_covers_all_nodes(self):
+        tree = ClusterTree(64, levels=3)
+        indices = [node.index for node in tree]
+        assert indices == list(range(1, tree.num_nodes + 1))
+
+    def test_sibling_pairs(self):
+        tree = ClusterTree(64, levels=3)
+        pairs = tree.sibling_pairs(2)
+        assert len(pairs) == 2
+        for left, right in pairs:
+            assert right.index == left.index + 1
+            assert left.stop == right.start
+        with pytest.raises(ValueError):
+            tree.sibling_pairs(0)
+
+
+class TestFromPoints:
+    def test_permutation_is_valid(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1, 1, size=(300, 3))
+        tree, perm = ClusterTree.from_points(pts, leaf_size=32)
+        assert sorted(perm.tolist()) == list(range(300))
+        tree.validate()
+
+    def test_clusters_are_spatially_coherent(self):
+        """kd-tree bisection should produce clusters with smaller extent than the whole cloud."""
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-1, 1, size=(512, 2))
+        tree, perm = ClusterTree.from_points(pts, leaf_size=64)
+        ordered = pts[perm]
+        full_extent = np.prod(ordered.max(axis=0) - ordered.min(axis=0))
+        leaf_extents = []
+        for leaf in tree.leaves:
+            sub = ordered[leaf.start : leaf.stop]
+            leaf_extents.append(np.prod(sub.max(axis=0) - sub.min(axis=0)))
+        assert np.mean(leaf_extents) < 0.5 * full_extent
+
+    def test_1d_points(self):
+        pts = np.linspace(0, 1, 200)
+        tree, perm = ClusterTree.from_points(pts, leaf_size=32)
+        ordered = pts[perm]
+        # 1-D coordinate bisection of sorted data keeps clusters contiguous
+        for leaf in tree.leaves:
+            seg = ordered[leaf.start : leaf.stop]
+            assert np.all(np.diff(seg) >= 0)
+
+    def test_explicit_levels(self):
+        rng = np.random.default_rng(2)
+        pts = rng.standard_normal((128, 2))
+        tree, _ = ClusterTree.from_points(pts, levels=3)
+        assert tree.levels == 3
+
+
+class TestValidation:
+    def test_validate_passes_for_all_shapes(self):
+        for n in [17, 64, 100, 257, 1024]:
+            for levels in [1, 2, 3]:
+                if 2 ** levels <= n:
+                    ClusterTree(n, levels=levels).validate()
+
+    def test_leaf_sizes_sum_to_n(self):
+        for n in [33, 64, 129, 500]:
+            tree = ClusterTree.balanced(n, leaf_size=16)
+            assert int(np.sum(tree.leaf_sizes())) == n

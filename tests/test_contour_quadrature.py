@@ -1,0 +1,153 @@
+"""Tests for contour geometry and quadrature rules."""
+
+import numpy as np
+import pytest
+
+from repro.bie.contour import EllipseContour, StarContour
+from repro.bie.quadrature import (
+    KAPUR_ROKHLIN_GAMMA,
+    apply_kapur_rokhlin,
+    kapur_rokhlin_correction,
+    periodic_trapezoidal_integral,
+    trapezoidal_weights,
+)
+
+
+class TestContours:
+    def test_circle_geometry(self):
+        contour = EllipseContour(a=2.0, b=2.0)
+        nodes = contour.discretize(256)
+        np.testing.assert_allclose(np.linalg.norm(nodes.points, axis=1), 2.0, rtol=1e-12)
+        # outward normals point away from the origin
+        np.testing.assert_allclose(nodes.normals, nodes.points / 2.0, atol=1e-12)
+        np.testing.assert_allclose(nodes.curvature, 0.5, rtol=1e-12)
+        assert nodes.arc_length == pytest.approx(2 * np.pi * 2.0, rel=1e-10)
+
+    def test_ellipse_arc_length(self):
+        contour = EllipseContour(a=2.0, b=1.0)
+        nodes = contour.discretize(512)
+        # Ramanujan approximation of the ellipse perimeter
+        h = ((2.0 - 1.0) / (2.0 + 1.0)) ** 2
+        approx = np.pi * (2.0 + 1.0) * (1 + 3 * h / (10 + np.sqrt(4 - 3 * h)))
+        assert nodes.arc_length == pytest.approx(approx, rel=1e-6)
+
+    def test_star_contour_extent_matches_paper_figure(self):
+        """Fig. 6 shows a curve spanning roughly [-2, 2] x [-1.5, 1.5]."""
+        nodes = StarContour().discretize(1024)
+        assert 1.6 <= np.max(np.abs(nodes.points[:, 0])) <= 2.4
+        assert 1.0 <= np.max(np.abs(nodes.points[:, 1])) <= 1.6
+
+    def test_star_normals_are_unit_and_outward(self):
+        contour = StarContour()
+        nodes = contour.discretize(512)
+        np.testing.assert_allclose(np.linalg.norm(nodes.normals, axis=1), 1.0, rtol=1e-12)
+        # stepping outward along the normal leaves the enclosed region
+        outside = nodes.points + 0.05 * nodes.normals
+        assert not contour.contains(outside[::37]).any()
+        inside = nodes.points - 0.05 * nodes.normals
+        assert contour.contains(inside[::37]).all()
+
+    def test_interior_point_is_inside(self):
+        contour = StarContour()
+        z = contour.interior_point()
+        assert contour.contains(z[None, :])[0]
+
+    def test_normals_consistent_with_finite_differences(self):
+        contour = StarContour()
+        nodes = contour.discretize(2048)
+        # tangent from finite differences of positions
+        tangent_fd = np.roll(nodes.points, -1, axis=0) - np.roll(nodes.points, 1, axis=0)
+        tangent_fd /= np.linalg.norm(tangent_fd, axis=1)[:, None]
+        # normals must be orthogonal to the tangent
+        dots = np.abs(np.sum(tangent_fd * nodes.normals, axis=1))
+        assert np.max(dots) < 1e-3
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(ValueError):
+            StarContour().discretize(4)
+
+
+class TestQuadrature:
+    def test_trapezoidal_weights_sum_to_arc_length(self):
+        nodes = StarContour().discretize(400)
+        w = trapezoidal_weights(400, nodes.speed)
+        assert np.sum(w) == pytest.approx(nodes.arc_length)
+
+    def test_trapezoidal_spectral_accuracy_smooth_integrand(self):
+        """The periodic trapezoidal rule is spectrally accurate for smooth integrands."""
+        contour = EllipseContour(a=1.0, b=1.0)
+        exact = 0.0  # integral of x over the circle
+        errors = []
+        for n in [16, 32]:
+            nodes = contour.discretize(n)
+            val = periodic_trapezoidal_integral(nodes.points[:, 0] ** 2, nodes.speed)
+            errors.append(abs(val - np.pi))
+        assert errors[1] < 1e-12
+
+    def test_kapur_rokhlin_offsets(self):
+        offsets, gammas = kapur_rokhlin_correction(100, order=6)
+        assert len(offsets) == 12 and len(gammas) == 12
+        np.testing.assert_array_equal(np.sort(np.abs(offsets)), np.repeat(np.arange(1, 7), 2))
+        with pytest.raises(ValueError):
+            kapur_rokhlin_correction(100, order=7)
+        with pytest.raises(ValueError):
+            kapur_rokhlin_correction(10, order=6)
+
+    def test_apply_kapur_rokhlin_matrix(self):
+        n = 32
+        base = np.ones((n, n))
+        W = apply_kapur_rokhlin(base, order=6)
+        assert np.all(np.diag(W) == 0.0)
+        # neighbour weights scaled by 1 + gamma_k
+        for k in range(1, 7):
+            assert W[0, k] == pytest.approx(1.0 + KAPUR_ROKHLIN_GAMMA[k - 1])
+            assert W[0, (0 - k) % n] == pytest.approx(1.0 + KAPUR_ROKHLIN_GAMMA[k - 1])
+        # far entries untouched
+        assert W[0, 10] == 1.0
+
+    def test_kapur_rokhlin_log_singularity_convergence(self):
+        """K-R corrected trapezoidal converges fast for a log-singular periodic integrand.
+
+        Integral over [0, 2pi) of log|2 sin(t/2)| dt = 0 (classical identity);
+        the integrand is singular at t = 0, which is where the correction acts.
+        """
+
+        def integrand(t):
+            return np.log(np.abs(2.0 * np.sin(t / 2.0)))
+
+        errors = []
+        for n in [64, 128, 256]:
+            h = 2 * np.pi / n
+            t = h * np.arange(n)
+            w = np.full(n, h)
+            offsets, gammas = kapur_rokhlin_correction(n, order=6)
+            w_row = w.copy()
+            w_row[0] = 0.0
+            for off, gam in zip(offsets, gammas):
+                w_row[off % n] += gam * h
+            vals = np.zeros(n)
+            vals[1:] = integrand(t[1:])
+            errors.append(abs(np.sum(w_row * vals)))
+        # errors decrease quickly and are small in absolute terms
+        assert errors[2] < errors[0]
+        assert errors[2] < 1e-6
+
+    def test_punctured_trapezoidal_is_much_worse(self):
+        """Sanity check: without the K-R correction the same rule converges slowly."""
+
+        def integrand(t):
+            return np.log(np.abs(2.0 * np.sin(t / 2.0)))
+
+        n = 256
+        h = 2 * np.pi / n
+        t = h * np.arange(n)
+        vals = np.zeros(n)
+        vals[1:] = integrand(t[1:])
+        punctured_error = abs(np.sum(h * vals))
+        offsets, gammas = kapur_rokhlin_correction(n, order=6)
+        w = np.full(n, h)
+        w[0] = 0.0
+        for off, gam in zip(offsets, gammas):
+            w[off % n] += gam * h
+        corrected_error = abs(np.sum(w * vals))
+        assert corrected_error < 1e-3 * punctured_error

@@ -1,0 +1,127 @@
+"""Tests for the elliptic PDE substrate (grids, FD assembly, Schur complements)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.elliptic import (
+    RegularGrid2D,
+    SchurComplementSolver,
+    assemble_poisson_2d,
+    poisson_manufactured_solution,
+)
+
+
+class TestGrid:
+    def test_basic_properties(self):
+        grid = RegularGrid2D(nx=9, ny=7)
+        assert grid.num_points == 63
+        hx, hy = grid.spacing
+        assert hx == pytest.approx(0.1)
+        assert hy == pytest.approx(0.125)
+        coords = grid.coordinates()
+        assert coords.shape == (63, 2)
+        assert coords.min() > 0 and coords.max() < 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            RegularGrid2D(nx=2, ny=5)
+
+    def test_separator_partition_covers_all_points(self):
+        grid = RegularGrid2D(nx=11, ny=6)
+        left, right, sep = grid.separator_partition()
+        union = np.concatenate([left, right, sep])
+        assert sorted(union.tolist()) == list(range(grid.num_points))
+        assert sep.size == grid.ny
+
+    def test_separator_disconnects_subdomains(self):
+        """The reordered matrix must have no direct left<->right coupling."""
+        grid = RegularGrid2D(nx=9, ny=5)
+        A = assemble_poisson_2d(grid)
+        left, right, _ = grid.separator_partition()
+        block = A[np.ix_(left, right)]
+        assert block.nnz == 0
+
+
+class TestAssembly:
+    def test_constant_coefficient_matches_classic_stencil(self):
+        grid = RegularGrid2D(nx=7, ny=7)
+        A = assemble_poisson_2d(grid)
+        h2 = grid.spacing[0] ** 2
+        # interior row: 4/h^2 on the diagonal, -1/h^2 on the four neighbours
+        center = grid.flat_index(3, 3)
+        row = A.getrow(center).toarray().ravel()
+        assert row[center] == pytest.approx(4.0 / h2)
+        assert row[grid.flat_index(2, 3)] == pytest.approx(-1.0 / h2)
+        assert row[grid.flat_index(3, 4)] == pytest.approx(-1.0 / h2)
+        assert A.nnz <= 5 * grid.num_points
+
+    def test_symmetric_positive_definite(self):
+        grid = RegularGrid2D(nx=8, ny=6)
+        A = assemble_poisson_2d(grid, a=lambda x, y: 1.0 + x + y, b=0.5)
+        dense = A.toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_manufactured_solution_consistency(self):
+        grid = RegularGrid2D(nx=12, ny=12)
+        u, f = poisson_manufactured_solution(grid, a=lambda x, y: 1.0 + 0.5 * x)
+        A = assemble_poisson_2d(grid, a=lambda x, y: 1.0 + 0.5 * x)
+        np.testing.assert_allclose(A @ u, f, rtol=1e-12)
+
+    def test_manufactured_solution_approximates_pde(self):
+        """For constant coefficients the discrete f approaches the continuum -lap u + b u."""
+        grid = RegularGrid2D(nx=64, ny=64)
+        coords = grid.coordinates()
+        u, f = poisson_manufactured_solution(grid)
+        f_exact = (np.pi ** 2 + 4 * np.pi ** 2) * np.sin(np.pi * coords[:, 0]) * np.sin(
+            2 * np.pi * coords[:, 1]
+        )
+        rel = np.linalg.norm(f - f_exact) / np.linalg.norm(f_exact)
+        assert rel < 5e-3
+
+
+class TestSchurComplement:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        grid = RegularGrid2D(nx=31, ny=48)
+        return SchurComplementSolver(grid=grid, a=lambda x, y: 1.0 + x * y, tol=1e-10,
+                                     rank=24, leaf_size=12).build()
+
+    def test_peeled_schur_matches_dense_schur(self, solver):
+        S_dense = solver.dense_schur()
+        err = solver.hodlr_schur.approximation_error(S_dense)
+        assert err < 1e-7
+
+    def test_schur_is_rank_structured(self, solver):
+        """Off-diagonal blocks of the separator Schur complement have low ranks."""
+        S_dense = solver.dense_schur()
+        n = S_dense.shape[0]
+        s = np.linalg.svd(S_dense[: n // 2, n // 2 :], compute_uv=False)
+        rank = int(np.sum(s > 1e-10 * s[0]))
+        assert rank <= 20
+        assert max(solver.schur_rank_profile()) <= 30
+
+    def test_full_solve_matches_sparse_direct(self, solver, rng):
+        f = rng.standard_normal(solver.grid.num_points)
+        u = solver.solve(f)
+        assert solver.residual(u, f) < 1e-7
+        u_ref = sp.linalg.spsolve(solver.A.tocsc(), f)
+        assert np.linalg.norm(u - u_ref) / np.linalg.norm(u_ref) < 1e-7
+
+    def test_manufactured_solution_recovered(self, solver):
+        u_exact, f = poisson_manufactured_solution(solver.grid, a=lambda x, y: 1.0 + x * y)
+        u = solver.solve(f)
+        assert np.linalg.norm(u - u_exact) / np.linalg.norm(u_exact) < 1e-7
+
+    def test_requires_build(self):
+        grid = RegularGrid2D(nx=9, ny=4)
+        s = SchurComplementSolver(grid=grid)
+        with pytest.raises(RuntimeError):
+            s.solve(np.ones(grid.num_points))
+        with pytest.raises(RuntimeError):
+            s.schur_rank_profile()
+
+    def test_rhs_size_validation(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve(np.ones(3))

@@ -1,0 +1,126 @@
+"""Unit tests for low-rank factors and truncation."""
+
+import numpy as np
+import pytest
+
+from repro import LowRankFactor
+
+
+def random_low_rank(m, n, r, seed=0, dtype=float):
+    rng = np.random.default_rng(seed)
+    U = rng.standard_normal((m, r)).astype(dtype)
+    V = rng.standard_normal((n, r)).astype(dtype)
+    if np.issubdtype(np.dtype(dtype), np.complexfloating):
+        U = U + 1j * rng.standard_normal((m, r))
+        V = V + 1j * rng.standard_normal((n, r))
+    return LowRankFactor(U=U, V=V)
+
+
+class TestBasics:
+    def test_shape_rank_dtype(self):
+        f = random_low_rank(20, 30, 5)
+        assert f.shape == (20, 30)
+        assert f.rank == 5
+        assert f.dtype == np.float64
+        assert f.nbytes == f.U.nbytes + f.V.nbytes
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LowRankFactor(U=np.zeros((4, 2)), V=np.zeros((5, 3)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            LowRankFactor(U=np.zeros(4), V=np.zeros((5, 1)))
+
+    def test_to_dense_matches_product(self):
+        f = random_low_rank(15, 12, 4)
+        np.testing.assert_allclose(f.to_dense(), f.U @ f.V.T)
+
+    def test_complex_to_dense_uses_conjugate(self):
+        f = random_low_rank(10, 8, 3, dtype=complex)
+        np.testing.assert_allclose(f.to_dense(), f.U @ f.V.conj().T)
+
+
+class TestArithmetic:
+    def test_matvec(self):
+        f = random_low_rank(20, 25, 6, seed=1)
+        x = np.random.default_rng(2).standard_normal(25)
+        np.testing.assert_allclose(f.matvec(x), f.to_dense() @ x)
+
+    def test_matvec_matrix_rhs(self):
+        f = random_low_rank(20, 25, 6, seed=1)
+        X = np.random.default_rng(2).standard_normal((25, 3))
+        np.testing.assert_allclose(f.matvec(X), f.to_dense() @ X)
+
+    def test_rmatvec(self):
+        f = random_low_rank(20, 25, 6, seed=3, dtype=complex)
+        x = np.random.default_rng(4).standard_normal(20)
+        np.testing.assert_allclose(f.rmatvec(x), f.to_dense().conj().T @ x)
+
+    def test_transpose(self):
+        f = random_low_rank(9, 13, 2, seed=5, dtype=complex)
+        np.testing.assert_allclose(f.transpose().to_dense(), f.to_dense().conj().T)
+
+    def test_scale(self):
+        f = random_low_rank(9, 13, 2, seed=6)
+        np.testing.assert_allclose(f.scale(2.5).to_dense(), 2.5 * f.to_dense())
+
+    def test_astype(self):
+        f = random_low_rank(9, 13, 2, seed=7)
+        g = f.astype(np.float32)
+        assert g.dtype == np.float32
+        np.testing.assert_allclose(g.to_dense(), f.to_dense(), rtol=1e-6)
+
+
+class TestTruncation:
+    def test_recompress_exact_when_overcomplete(self):
+        """A rank-3 block stored with redundant rank-10 bases compresses back to 3."""
+        rng = np.random.default_rng(0)
+        core = random_low_rank(30, 25, 3, seed=8)
+        dense = core.to_dense()
+        # redundant representation: pad with extra correlated columns
+        U = np.hstack([core.U, core.U @ rng.standard_normal((3, 7))])
+        V = np.hstack([core.V, np.zeros((25, 7))])
+        fat = LowRankFactor(U=U, V=V)
+        slim = fat.recompress(tol=1e-12)
+        assert slim.rank <= 3 + 1
+        np.testing.assert_allclose(slim.to_dense(), dense, atol=1e-10)
+
+    def test_recompress_max_rank(self):
+        f = random_low_rank(40, 40, 10, seed=9)
+        g = f.recompress(max_rank=4)
+        assert g.rank == 4
+        # rank-4 truncation error bounded by the discarded singular values
+        s = np.linalg.svd(f.to_dense(), compute_uv=False)
+        err = np.linalg.norm(g.to_dense() - f.to_dense())
+        assert err <= np.sqrt(np.sum(s[4:] ** 2)) * (1 + 1e-8)
+
+    def test_from_dense_tolerance(self):
+        rng = np.random.default_rng(10)
+        # construct a matrix with known singular value decay
+        U, _ = np.linalg.qr(rng.standard_normal((50, 50)))
+        V, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        s = 10.0 ** (-np.arange(40, dtype=float))
+        A = U[:, :40] @ np.diag(s) @ V.T
+        f = LowRankFactor.from_dense(A, tol=1e-6)
+        assert f.rank <= 8
+        assert f.error_vs(A) <= 1e-5 * s[0]
+
+    def test_from_dense_empty(self):
+        f = LowRankFactor.from_dense(np.zeros((5, 0)))
+        assert f.rank == 0
+        assert f.shape == (5, 0)
+
+    def test_zeros_factory(self):
+        f = LowRankFactor.zeros(6, 7)
+        assert f.rank == 0
+        np.testing.assert_array_equal(f.to_dense(), np.zeros((6, 7)))
+        np.testing.assert_array_equal(f.matvec(np.ones(7)), np.zeros(6))
+
+    def test_pad_rank(self):
+        f = random_low_rank(10, 12, 3, seed=11)
+        g = f.pad_rank(6)
+        assert g.rank == 6
+        np.testing.assert_allclose(g.to_dense(), f.to_dense())
+        with pytest.raises(ValueError):
+            f.pad_rank(2)

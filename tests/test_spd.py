@@ -1,0 +1,87 @@
+"""Tests for the symmetric (W W^T) factorization of SPD HODLR matrices."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterTree, SymmetricFactorization, build_hodlr
+from conftest import spd_kernel_matrix
+
+
+@pytest.fixture
+def spd_problem():
+    A = spd_kernel_matrix(256, seed=4, nugget=0.5)
+    tree = ClusterTree.balanced(256, leaf_size=32)
+    H = build_hodlr(A, tree, tol=1e-12, method="svd")
+    return A, SymmetricFactorization(hodlr=H).factorize()
+
+
+class TestSymmetricFactorization:
+    def test_w_wt_equals_a(self, spd_problem, rng):
+        """W (W^T x) must reproduce A x."""
+        A, fac = spd_problem
+        x = rng.standard_normal(A.shape[0])
+        # A x via W W^T: first W^T x = solve of nothing... use identity A = W W^T
+        # applied columnwise: W (W^T e_i); cheaper: compare on random vectors using
+        # the identity <x, A x> = ||W^T x||^2 is not directly available, so apply
+        # W to W^T x obtained through apply_sqrt of the transpose relation:
+        # For symmetric W from this construction W != W^T, so test A x = W (W^T x)
+        # using apply_sqrt and a finite-difference via solve: A (A^{-1} x) = x.
+        y = fac.solve(A @ x)
+        np.testing.assert_allclose(y, x, rtol=1e-7, atol=1e-9)
+
+    def test_sqrt_covariance(self, spd_problem):
+        """Cov[W z] = A for iid standard normal z: check E[(Wz)(Wz)^T] columns via direct product."""
+        A, fac = spd_problem
+        n = A.shape[0]
+        # deterministic check: W applied to the identity gives a matrix square root
+        W = fac.apply_sqrt(np.eye(n))
+        np.testing.assert_allclose(W @ W.T, A, rtol=1e-7, atol=1e-8)
+
+    def test_solve_matches_dense(self, spd_problem, rng):
+        A, fac = spd_problem
+        b = rng.standard_normal(A.shape[0])
+        x_ref = np.linalg.solve(A, b)
+        x = fac.solve(b)
+        np.testing.assert_allclose(x, x_ref, rtol=1e-6, atol=1e-9)
+
+    def test_sqrt_inverse_whitens(self, spd_problem, rng):
+        A, fac = spd_problem
+        n = A.shape[0]
+        Winv = fac.apply_sqrt_inverse(np.eye(n))
+        np.testing.assert_allclose(Winv @ A @ Winv.T, np.eye(n), rtol=1e-6, atol=1e-7)
+
+    def test_logdet(self, spd_problem):
+        A, fac = spd_problem
+        assert fac.logdet() == pytest.approx(np.linalg.slogdet(A)[1], rel=1e-9)
+
+    def test_sampling_shapes_and_covariance_trend(self, spd_problem, rng):
+        A, fac = spd_problem
+        samples = fac.sample(rng, num_samples=64)
+        assert samples.shape == (A.shape[0], 64)
+        single = fac.sample(rng)
+        assert single.shape == (A.shape[0],)
+        # sample variance should be of the order of the diagonal of A
+        var = np.var(samples, axis=1)
+        assert 0.1 * np.median(np.diag(A)) < np.median(var) < 10 * np.median(np.diag(A))
+
+    def test_not_positive_definite_raises(self):
+        n = 128
+        rng = np.random.default_rng(0)
+        x = np.sort(rng.uniform(0, 1, n))
+        d = np.abs(x[:, None] - x[None, :])
+        # an indefinite symmetric matrix (no diagonal shift, oscillatory kernel)
+        A = np.cos(40.0 * d)
+        tree = ClusterTree.balanced(n, leaf_size=32)
+        H = build_hodlr(A, tree, tol=1e-10, method="svd")
+        with pytest.raises(np.linalg.LinAlgError):
+            SymmetricFactorization(hodlr=H).factorize()
+
+    def test_operations_require_factorization(self):
+        A = spd_kernel_matrix(64, seed=5)
+        tree = ClusterTree.balanced(64, leaf_size=16)
+        H = build_hodlr(A, tree, tol=1e-10, method="svd")
+        fac = SymmetricFactorization(hodlr=H)
+        with pytest.raises(RuntimeError):
+            fac.solve(np.ones(64))
+        with pytest.raises(RuntimeError):
+            fac.logdet()
