@@ -57,6 +57,16 @@ from .core import arithmetic
 from .core.peeling import peel_hodlr
 
 from .backends.batched import BatchedBackend
+from .backends.dispatch import (
+    ArrayBackend,
+    BatchPlanner,
+    DispatchPolicy,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    plan_batch,
+    register_backend,
+)
 from .backends.memory import DeviceMemoryTracker, hodlr_device_footprint, max_problem_size
 from .backends.counters import get_recorder
 from .backends.device import GPU_V100, CPU_XEON_6254_DUAL, PCIE3_X16, DeviceSpec
@@ -106,6 +116,14 @@ __all__ = [
     "arithmetic",
     "peel_hodlr",
     # backends
+    "ArrayBackend",
+    "BatchPlanner",
+    "DispatchPolicy",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "plan_batch",
+    "register_backend",
     "BatchedBackend",
     "DeviceMemoryTracker",
     "hodlr_device_footprint",

@@ -17,6 +17,22 @@ documented substitution for the paper's physical hardware (see DESIGN.md).
 """
 
 from .counters import KernelEvent, KernelTrace, TraceRecorder, get_recorder, record_event
+from .dispatch import (
+    ArrayBackend,
+    BackendUnavailableError,
+    BatchPlan,
+    BatchPlanner,
+    CupyBackend,
+    DispatchPolicy,
+    LOOP_POLICY,
+    NumpyBackend,
+    ShapeBucket,
+    available_backends,
+    get_backend,
+    plan_batch,
+    register_backend,
+    registered_backends,
+)
 from .batched import (
     BatchedBackend,
     gemm_batched,
@@ -36,6 +52,20 @@ __all__ = [
     "TraceRecorder",
     "get_recorder",
     "record_event",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "BatchPlan",
+    "BatchPlanner",
+    "CupyBackend",
+    "DispatchPolicy",
+    "LOOP_POLICY",
+    "NumpyBackend",
+    "ShapeBucket",
+    "available_backends",
+    "get_backend",
+    "plan_batch",
+    "register_backend",
+    "registered_backends",
     "BatchedBackend",
     "gemm_batched",
     "gemm_strided_batched",

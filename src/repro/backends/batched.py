@@ -20,17 +20,24 @@ cost on a GPU.
 
 Design notes
 ------------
-* Strided batches with uniform shapes are executed with a single vectorised
-  ``numpy`` call (``np.matmul`` broadcasts over the leading axis, and the LU
-  kernels loop in C-contiguous order over the batch), mirroring how a real
-  strided-batched kernel amortises launch overhead.
-* Pointer-array batches with heterogeneous shapes fall back to a Python
-  loop, exactly as cuBLAS falls back to the slower generic kernel; the
-  recorded event marks ``strided=False`` so the performance model charges
-  the appropriate efficiency.
-* LU factorization uses partial pivoting (``scipy.linalg.lu_factor``) by
-  default; ``pivot=False`` emulates the paper's discussion of the
-  non-pivoted variants of equation (9).
+* Heterogeneous pointer-array batches are **shape bucketed** by the planner
+  in :mod:`repro.backends.dispatch`: blocks with identical shapes are packed
+  into strided 3-D storage and executed with a single vectorised ``matmul``
+  or batched-LU call per bucket, so a batch with ``k`` distinct shapes costs
+  ``k`` kernel launches instead of one Python iteration per block.  The
+  recorded event carries ``buckets=k`` and ``strided=True`` so the
+  performance model charges ``k`` launches.
+* Passing ``policy=LOOP_POLICY`` (or ``DispatchPolicy(bucketing=False)``)
+  restores the seed's per-block Python loop — the slow generic path a real
+  cuBLAS pointer-array kernel degrades to — with ``strided=False`` recorded,
+  exactly as before.  The benchmarks use this to measure the bucketing
+  speedup.
+* All array arithmetic goes through an :class:`~repro.backends.dispatch.
+  ArrayBackend` (NumPy by default), which is the seam where real GPU
+  backends (CuPy) plug in.
+* LU factorization uses partial pivoting by default; ``pivot=False``
+  emulates the paper's discussion of the non-pivoted variants of
+  equation (9).
 """
 
 from __future__ import annotations
@@ -39,7 +46,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
-from scipy import linalg as sla
 
 from .counters import (
     KernelEvent,
@@ -47,6 +53,13 @@ from .counters import (
     getrf_flops,
     getrs_flops,
     record_event,
+)
+from .dispatch import (
+    DEFAULT_POLICY,
+    ArrayBackend,
+    DispatchPolicy,
+    get_backend,
+    plan_batch,
 )
 
 ArrayBatch = Union[np.ndarray, Sequence[np.ndarray]]
@@ -72,9 +85,35 @@ def _batch_len(batch: ArrayBatch) -> int:
     return len(batch)
 
 
+def _resolve(backend: Optional[ArrayBackend], policy: Optional[DispatchPolicy]):
+    return backend or get_backend("numpy"), policy or DEFAULT_POLICY
+
+
 # ----------------------------------------------------------------------
 # gemm
 # ----------------------------------------------------------------------
+def _gemm_block(Ai, Bi, Ci, alpha, beta, transpose_a, conjugate_a):
+    """One pointer-array gemm: the per-block generic path."""
+    if transpose_a or conjugate_a:
+        op_a = Ai.conj().T if conjugate_a else Ai.T
+    else:
+        op_a = Ai
+    out = alpha * (op_a @ Bi)
+    if Ci is not None and beta != 0.0:
+        out = out + beta * Ci
+    return out
+
+
+def _gemm_accounting(Ai, Bi, out, cplx):
+    """(m, n, k), flops, bytes for one gemm block, paper conventions."""
+    m = out.shape[0]
+    n = out.shape[1] if out.ndim == 2 else 1
+    k = Bi.shape[0] if Bi.ndim >= 1 else 0
+    flops = gemm_flops(m, n, k, cplx)
+    nbytes = float((Ai.size + Bi.size + out.size) * out.dtype.itemsize)
+    return (m, n, k), flops, nbytes
+
+
 def gemm_batched(
     A: ArrayBatch,
     B: ArrayBatch,
@@ -83,6 +122,8 @@ def gemm_batched(
     beta: float = 0.0,
     transpose_a: bool = False,
     conjugate_a: bool = False,
+    backend: Optional[ArrayBackend] = None,
+    policy: Optional[DispatchPolicy] = None,
 ) -> List[np.ndarray]:
     """Pointer-array batched GEMM: ``C[i] = alpha * op(A[i]) @ B[i] + beta * C[i]``.
 
@@ -90,52 +131,110 @@ def gemm_batched(
     ``transpose_a`` / ``conjugate_a`` (the HODLR algorithms only ever
     transpose the first operand, the ``V`` bases).
 
-    Returns the list of result matrices (freshly allocated unless ``C`` is
-    given with ``beta != 0``, in which case ``C``'s entries are used but not
-    overwritten in place).
+    Blocks sharing a shape are grouped into buckets and executed with one
+    strided ``matmul`` per bucket (see module docstring); the returned list
+    is in submission order regardless of bucketing.
     """
     nbatch = _batch_len(A)
     if _batch_len(B) != nbatch:
         raise ValueError("A and B batches must have the same length")
     if C is not None and _batch_len(C) != nbatch:
         raise ValueError("C batch must match A/B length")
+    if nbatch == 0:
+        return []
 
-    dtype = _dtype_of(A)
-    cplx = _is_complex(dtype)
-    results: List[np.ndarray] = []
+    xb, pol = _resolve(backend, policy)
+    results: List[Optional[np.ndarray]] = [None] * nbatch
     total_flops = 0.0
     total_bytes = 0.0
     shape_rep: Tuple[int, int, int] = (0, 0, 0)
 
-    for i in range(nbatch):
-        Ai = np.asarray(A[i])
-        Bi = np.asarray(B[i])
-        if transpose_a or conjugate_a:
-            op_a = Ai.conj().T if conjugate_a else Ai.T
-        else:
-            op_a = Ai
-        out = alpha * (op_a @ Bi)
-        if C is not None and beta != 0.0:
-            out = out + beta * np.asarray(C[i])
-        results.append(out)
-        m, k = op_a.shape
-        n = Bi.shape[1] if Bi.ndim == 2 else 1
-        shape_rep = (m, n, k)
-        total_flops += gemm_flops(m, n, k, cplx)
-        total_bytes += (Ai.size + Bi.size + out.size) * out.dtype.itemsize
+    if not pol.bucketing:
+        # seed behaviour: the generic per-block loop of a pointer-array kernel
+        dtype = _dtype_of(A)
+        cplx = _is_complex(dtype)
+        for i in range(nbatch):
+            Ai, Bi = np.asarray(A[i]), np.asarray(B[i])
+            Ci = np.asarray(C[i]) if C is not None else None
+            out = _gemm_block(Ai, Bi, Ci, alpha, beta, transpose_a, conjugate_a)
+            results[i] = out
+            shape_rep, flops, nbytes = _gemm_accounting(Ai, Bi, out, cplx)
+            total_flops += flops
+            total_bytes += nbytes
+        _record_gemm(nbatch, shape_rep, total_flops, total_bytes, dtype,
+                     strided=False, buckets=1)
+        return results  # type: ignore[return-value]
 
+    plan = plan_batch([(np.shape(A[i]), np.shape(B[i])) for i in range(nbatch)])
+    # accounting is analytic per bucket (shapes are uniform within a bucket),
+    # which removes the seed's per-block Python bookkeeping from the fast path
+    dtype = np.result_type(
+        *[np.asarray(A[b.indices[0]]).dtype for b in plan.buckets],
+        *[np.asarray(B[b.indices[0]]).dtype for b in plan.buckets],
+    )
+    cplx = _is_complex(dtype)
+    itemsize = np.dtype(dtype).itemsize
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        shape_a, shape_b = bucket.key
+        if transpose_a or conjugate_a:
+            m, k = shape_a[1], shape_a[0]
+        else:
+            m, k = shape_a
+        n = shape_b[1] if len(shape_b) == 2 else 1
+        a_elements = shape_a[0] * shape_a[1]
+        b_elements = shape_b[0] * n if len(shape_b) == 2 else shape_b[0]
+        if pol.pack_gemm_bucket(len(idx), a_elements, b_elements):
+            A3 = xb.stack([A[i] for i in idx])
+            B3 = xb.stack([B[i] for i in idx])
+            vector_rhs = B3.ndim == 2  # bucket of 1-D right-hand sides
+            if vector_rhs:
+                B3 = B3[:, :, None]
+            if transpose_a or conjugate_a:
+                opA3 = A3.transpose(0, 2, 1)
+                if conjugate_a:
+                    opA3 = opA3.conj()
+            else:
+                opA3 = A3
+            out3 = alpha * xb.matmul(opA3, B3)
+            if C is not None and beta != 0.0:
+                C3 = xb.stack([C[i] for i in idx])
+                out3 = out3 + beta * (C3[:, :, None] if C3.ndim == 2 else C3)
+            for j, i in enumerate(idx):
+                results[i] = out3[j, :, 0] if vector_rhs else out3[j]
+        else:
+            # blocks too large to amortise the pack copy (or a singleton
+            # bucket): tight per-problem execution, still one planned launch
+            for i in idx:
+                Ci = np.asarray(C[i]) if C is not None else None
+                results[i] = _gemm_block(
+                    np.asarray(A[i]), np.asarray(B[i]), Ci,
+                    alpha, beta, transpose_a, conjugate_a,
+                )
+        total_flops += len(idx) * gemm_flops(m, n, k, cplx)
+        total_bytes += float(len(idx) * (a_elements + b_elements + m * n) * itemsize)
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (m, n, k)
+    _record_gemm(nbatch, shape_rep, total_flops, total_bytes, dtype,
+                 strided=True, buckets=plan.num_buckets)
+    return results  # type: ignore[return-value]
+
+
+def _record_gemm(nbatch, shape_rep, flops, nbytes, dtype, strided, buckets):
     record_event(
         KernelEvent(
             kernel="gemm_batched",
             batch=nbatch,
             shape=shape_rep,
-            flops=total_flops,
-            bytes_moved=total_bytes,
+            flops=flops,
+            bytes_moved=nbytes,
             dtype_size=np.dtype(dtype).itemsize,
-            strided=False,
+            strided=strided,
+            buckets=buckets,
         )
     )
-    return results
 
 
 def gemm_strided_batched(
@@ -146,24 +245,26 @@ def gemm_strided_batched(
     beta: float = 0.0,
     transpose_a: bool = False,
     conjugate_a: bool = False,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Strided batched GEMM over 3-D operands (``batch x m x k`` etc.).
 
     This is the fast path the paper exploits when all low-rank bases at a
     level share the same shape (constant stride between consecutive
-    problems).  Internally a single broadcasted ``np.matmul`` performs the
+    problems).  Internally a single broadcasted ``matmul`` performs the
     whole batch.
     """
     if A.ndim != 3 or B.ndim != 3:
         raise ValueError("gemm_strided_batched expects 3-D operands")
     if A.shape[0] != B.shape[0]:
         raise ValueError("batch dimensions must agree")
+    xb, _ = _resolve(backend, None)
 
     if transpose_a or conjugate_a:
         opA = np.conj(A.transpose(0, 2, 1)) if conjugate_a else A.transpose(0, 2, 1)
     else:
         opA = A
-    out = alpha * np.matmul(opA, B)
+    out = alpha * xb.matmul(opA, B)
     if C is not None and beta != 0.0:
         out = out + beta * C
 
@@ -229,115 +330,184 @@ class BatchedLU:
         return signs, logs
 
 
-def _lu_factor_nopivot(a: np.ndarray) -> np.ndarray:
-    """Doolittle LU without pivoting, packed into a single matrix."""
-    a = np.array(a, copy=True)
-    n = a.shape[0]
-    for k in range(n - 1):
-        pivot_val = a[k, k]
-        if pivot_val == 0:
-            raise np.linalg.LinAlgError("zero pivot encountered in non-pivoted LU")
-        a[k + 1 :, k] /= pivot_val
-        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
-    return a
-
-
-def _lu_solve_nopivot(lu: np.ndarray, b: np.ndarray) -> np.ndarray:
-    y = sla.solve_triangular(lu, b, lower=True, unit_diagonal=True)
-    return sla.solve_triangular(lu, y, lower=False)
-
-
-def getrf_batched(A: ArrayBatch, pivot: bool = True) -> BatchedLU:
+def getrf_batched(
+    A: ArrayBatch,
+    pivot: bool = True,
+    backend: Optional[ArrayBackend] = None,
+    policy: Optional[DispatchPolicy] = None,
+) -> BatchedLU:
     """Batched LU factorization (cuBLAS ``getrfBatched``).
 
     Parameters
     ----------
     A:
         Either a 3-D array of identically sized square matrices or a list of
-        square matrices with possibly different sizes.
+        square matrices with possibly different sizes.  Equal-size matrices
+        are factorized together by the vectorised batched elimination (one
+        launch per shape bucket).
     pivot:
         Apply partial pivoting (default).  The non-pivoted path exists to
         model the alternative formulations of equation (9) discussed in the
         paper, which trade pivoting for a right-hand-side shuffle.
     """
     nbatch = _batch_len(A)
-    dtype = _dtype_of(A)
-    cplx = _is_complex(dtype)
-    strided = _is_strided(A)
+    if nbatch == 0:
+        return BatchedLU(lu=[], piv=[], pivot=pivot)
+    xb, pol = _resolve(backend, policy)
+    strided_in = _is_strided(A)
 
-    lus: List[np.ndarray] = []
-    pivs: List[np.ndarray] = []
+    lus: List[Optional[np.ndarray]] = [None] * nbatch
+    pivs: List[Optional[np.ndarray]] = [None] * nbatch
     total_flops = 0.0
     total_bytes = 0.0
     shape_rep = (0, 0, 0)
-    for i in range(nbatch):
-        Ai = np.asarray(A[i])
-        if Ai.shape[0] != Ai.shape[1]:
+    empty_piv = np.empty(0, dtype=np.int64)
+
+    if not pol.bucketing:
+        dtype = _dtype_of(A)
+        cplx = _is_complex(dtype)
+        for i in range(nbatch):
+            Ai = np.asarray(A[i])
+            if Ai.shape[0] != Ai.shape[1]:
+                raise ValueError("getrf_batched requires square matrices")
+            n = Ai.shape[0]
+            shape_rep = (n, n, 0)
+            total_flops += getrf_flops(n, cplx)
+            total_bytes += 2.0 * Ai.nbytes
+            lu, piv = xb.lu_factor(Ai, pivot=pivot)
+            lus[i] = lu
+            pivs[i] = piv if pivot else empty_piv
+        _record_lu("getrf_batched", nbatch, shape_rep, total_flops, total_bytes,
+                   dtype, strided=strided_in, buckets=1)
+        return BatchedLU(lu=lus, piv=pivs, pivot=pivot)  # type: ignore[arg-type]
+
+    plan = plan_batch([np.shape(A[i]) for i in range(nbatch)])
+    for bucket in plan.buckets:
+        if len(bucket.key) != 2 or bucket.key[0] != bucket.key[1]:
             raise ValueError("getrf_batched requires square matrices")
-        n = Ai.shape[0]
-        if pivot:
-            lu, piv = sla.lu_factor(Ai, check_finite=False)
+    dtype = np.result_type(*[np.asarray(A[b.indices[0]]).dtype for b in plan.buckets])
+    cplx = _is_complex(dtype)
+    itemsize = np.dtype(dtype).itemsize
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        n = bucket.key[0]
+        if pol.vectorize_lu_factor(len(idx), n):
+            stack = xb.stack([A[i] for i in idx])
+            lu3, piv3 = xb.lu_factor_batch(stack, pivot=pivot)
+            for j, i in enumerate(idx):
+                lus[i] = lu3[j]
+                pivs[i] = piv3[j] if pivot else empty_piv
         else:
-            lu, piv = _lu_factor_nopivot(Ai), np.empty(0, dtype=np.int64)
-        lus.append(lu)
-        pivs.append(piv)
-        shape_rep = (n, n, 0)
-        total_flops += getrf_flops(n, cplx)
-        total_bytes += 2.0 * Ai.nbytes
-
-    record_event(
-        KernelEvent(
-            kernel="getrf_batched",
-            batch=nbatch,
-            shape=shape_rep,
-            flops=total_flops,
-            bytes_moved=total_bytes,
-            dtype_size=np.dtype(dtype).itemsize,
-            strided=strided,
-        )
-    )
-    return BatchedLU(lu=lus, piv=pivs, pivot=pivot)
+            # blocks above the vectorisation crossover: blocked per-problem
+            # LAPACK inside the bucket, still one planned launch
+            for i in idx:
+                lu, piv = xb.lu_factor(np.asarray(A[i]), pivot=pivot)
+                lus[i] = lu
+                pivs[i] = piv if pivot else empty_piv
+        total_flops += len(idx) * getrf_flops(n, cplx)
+        total_bytes += float(len(idx) * 2 * n * n * itemsize)
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (n, n, 0)
+    _record_lu("getrf_batched", nbatch, shape_rep, total_flops, total_bytes,
+               dtype, strided=True, buckets=plan.num_buckets)
+    return BatchedLU(lu=lus, piv=pivs, pivot=pivot)  # type: ignore[arg-type]
 
 
-def getrs_batched(factors: BatchedLU, B: ArrayBatch) -> List[np.ndarray]:
-    """Batched LU solve (cuBLAS ``getrsBatched``): ``X[i] = A[i]^{-1} B[i]``."""
+def getrs_batched(
+    factors: BatchedLU,
+    B: ArrayBatch,
+    backend: Optional[ArrayBackend] = None,
+    policy: Optional[DispatchPolicy] = None,
+) -> List[np.ndarray]:
+    """Batched LU solve (cuBLAS ``getrsBatched``): ``X[i] = A[i]^{-1} B[i]``.
+
+    Problems whose factor size and right-hand-side shape coincide are packed
+    and solved with one vectorised substitution per shape bucket.
+    """
     nbatch = len(factors)
     if _batch_len(B) != nbatch:
         raise ValueError("right-hand-side batch must match the factor batch")
-    dtype = _dtype_of(B)
-    cplx = _is_complex(dtype)
-    strided = _is_strided(B)
+    if nbatch == 0:
+        return []
+    xb, pol = _resolve(backend, policy)
+    strided_in = _is_strided(B)
 
-    xs: List[np.ndarray] = []
+    xs: List[Optional[np.ndarray]] = [None] * nbatch
     total_flops = 0.0
     total_bytes = 0.0
     shape_rep = (0, 0, 0)
+
+    rhs2d: List[np.ndarray] = []
+    squeeze: List[bool] = []
     for i in range(nbatch):
         Bi = np.asarray(B[i])
-        rhs2d = Bi if Bi.ndim == 2 else Bi.reshape(-1, 1)
-        n = factors.lu[i].shape[0]
-        nrhs = rhs2d.shape[1]
-        if factors.pivot:
-            x = sla.lu_solve((factors.lu[i], factors.piv[i]), rhs2d, check_finite=False)
-        else:
-            x = _lu_solve_nopivot(factors.lu[i], rhs2d)
-        xs.append(x if Bi.ndim == 2 else x.ravel())
-        shape_rep = (n, nrhs, 0)
-        total_flops += getrs_flops(n, nrhs, cplx)
-        total_bytes += float(factors.lu[i].nbytes + 2 * Bi.nbytes)
+        squeeze.append(Bi.ndim == 1)
+        rhs2d.append(Bi if Bi.ndim == 2 else Bi.reshape(-1, 1))
 
+    if not pol.bucketing:
+        dtype = _dtype_of(B)
+        cplx = _is_complex(dtype)
+        for i in range(nbatch):
+            n = factors.lu[i].shape[0]
+            nrhs = rhs2d[i].shape[1]
+            shape_rep = (n, nrhs, 0)
+            total_flops += getrs_flops(n, nrhs, cplx)
+            total_bytes += float(factors.lu[i].nbytes + 2 * rhs2d[i].size * rhs2d[i].dtype.itemsize)
+            x = xb.lu_solve(factors.lu[i], factors.piv[i], rhs2d[i], pivot=factors.pivot)
+            xs[i] = x.ravel() if squeeze[i] else x
+        _record_lu("getrs_batched", nbatch, shape_rep, total_flops, total_bytes,
+                   dtype, strided=strided_in, buckets=1)
+        return xs  # type: ignore[return-value]
+
+    plan = plan_batch(
+        [(factors.lu[i].shape[0], rhs2d[i].shape[1]) for i in range(nbatch)]
+    )
+    dtype = np.result_type(*[rhs2d[b.indices[0]].dtype for b in plan.buckets])
+    cplx = _is_complex(dtype)
+    rhs_itemsize = np.dtype(dtype).itemsize
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        n, nrhs = bucket.key
+        lu_itemsize = factors.lu[idx[0]].dtype.itemsize
+        if pol.vectorize_lu_solve(len(idx), n):
+            lu3 = xb.stack([factors.lu[i] for i in idx])
+            piv3 = xb.stack([factors.piv[i] for i in idx]) if factors.pivot else None
+            rhs3 = xb.stack([rhs2d[i] for i in idx])
+            x3 = xb.lu_solve_batch(lu3, piv3, rhs3, pivot=factors.pivot)
+            for j, i in enumerate(idx):
+                xs[i] = x3[j].ravel() if squeeze[i] else x3[j]
+        else:
+            # above the vectorisation crossover: BLAS-3 substitution per
+            # problem inside the bucket, still one planned launch
+            for i in idx:
+                x = xb.lu_solve(factors.lu[i], factors.piv[i], rhs2d[i], pivot=factors.pivot)
+                xs[i] = x.ravel() if squeeze[i] else x
+        total_flops += len(idx) * getrs_flops(n, nrhs, cplx)
+        total_bytes += float(len(idx) * (n * n * lu_itemsize + 2 * n * nrhs * rhs_itemsize))
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (n, nrhs, 0)
+    _record_lu("getrs_batched", nbatch, shape_rep, total_flops, total_bytes,
+               dtype, strided=True, buckets=plan.num_buckets)
+    return xs  # type: ignore[return-value]
+
+
+def _record_lu(kernel, nbatch, shape_rep, flops, nbytes, dtype, strided, buckets):
     record_event(
         KernelEvent(
-            kernel="getrs_batched",
+            kernel=kernel,
             batch=nbatch,
             shape=shape_rep,
-            flops=total_flops,
-            bytes_moved=total_bytes,
+            flops=flops,
+            bytes_moved=nbytes,
             dtype_size=np.dtype(dtype).itemsize,
             strided=strided,
+            buckets=buckets,
         )
     )
-    return xs
 
 
 # convenience aliases mirroring LAPACK naming used in the algorithms
@@ -349,20 +519,38 @@ class BatchedBackend:
     """Object-oriented facade over the batched primitives.
 
     The factorization code accepts a backend instance so that tests can
-    substitute counting or fault-injecting backends; the default simply
-    forwards to the module-level functions.
+    substitute counting or fault-injecting backends, and so that the array
+    backend (NumPy / CuPy) and the dispatch policy can be chosen per
+    solver.  The default forwards to the module-level functions on the
+    NumPy backend with bucketing enabled.
     """
 
-    name = "numpy-batched"
+    def __init__(
+        self,
+        array_backend: Optional[Union[str, ArrayBackend]] = None,
+        policy: Optional[DispatchPolicy] = None,
+    ) -> None:
+        if isinstance(array_backend, str):
+            array_backend = get_backend(array_backend)
+        self.array_backend = array_backend or get_backend("numpy")
+        self.policy = policy or DEFAULT_POLICY
+        self.name = f"{self.array_backend.name}-batched"
 
     def gemm_batched(self, *args, **kwargs):
+        kwargs.setdefault("backend", self.array_backend)
+        kwargs.setdefault("policy", self.policy)
         return gemm_batched(*args, **kwargs)
 
     def gemm_strided_batched(self, *args, **kwargs):
+        kwargs.setdefault("backend", self.array_backend)
         return gemm_strided_batched(*args, **kwargs)
 
     def getrf_batched(self, *args, **kwargs):
+        kwargs.setdefault("backend", self.array_backend)
+        kwargs.setdefault("policy", self.policy)
         return getrf_batched(*args, **kwargs)
 
     def getrs_batched(self, *args, **kwargs):
+        kwargs.setdefault("backend", self.array_backend)
+        kwargs.setdefault("policy", self.policy)
         return getrs_batched(*args, **kwargs)

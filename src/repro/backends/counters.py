@@ -15,7 +15,7 @@ tree level), so recording is cheap relative to the numerical work.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
@@ -40,9 +40,17 @@ class KernelEvent:
         Size in bytes of one scalar (8 for float64, 4 for float32, 16 for
         complex128, ...).
     strided:
-        Whether the launch used the strided-batch fast path
-        (``gemmStridedBatched``), which the paper reports as significantly
-        faster for small operands.
+        Whether the launch used strided/packed execution — either the
+        strided-batch fast path (``gemmStridedBatched``) or the
+        shape-bucketed dispatch that packs equal-shape blocks of a
+        heterogeneous batch into strided storage.  ``False`` marks the
+        generic per-block path, which the paper reports as significantly
+        slower for small operands.
+    buckets:
+        Number of uniform shape buckets the dispatch layer split this batch
+        into, i.e. the number of physical kernel launches the call stands
+        for.  ``1`` for a uniform batch; the performance model charges one
+        launch overhead per bucket.
     stream:
         Stream index if the launch was issued on an independent CUDA stream
         (top levels of the tree), else ``None``.
@@ -59,6 +67,7 @@ class KernelEvent:
     bytes_moved: float
     dtype_size: int = 8
     strided: bool = False
+    buckets: int = 1
     stream: Optional[int] = None
     level: Optional[int] = None
     tag: str = ""
@@ -95,6 +104,23 @@ class KernelTrace:
     @property
     def num_launches(self) -> int:
         return len(self.events)
+
+    @property
+    def num_kernel_launches(self) -> int:
+        """Physical kernel launches: one per shape bucket of every dispatch."""
+        return int(sum(e.buckets for e in self.events))
+
+    @property
+    def num_bucketed_launches(self) -> int:
+        """Launches that executed as packed strided shape buckets."""
+        return int(sum(e.buckets for e in self.events if e.strided))
+
+    def buckets_by_kernel(self) -> Dict[str, int]:
+        """Total shape-bucket (physical launch) counts per kernel name."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kernel] = out.get(e.kernel, 0) + e.buckets
+        return out
 
     def flops_by_kernel(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
@@ -185,14 +211,8 @@ class TraceRecorder:
         if not self._stack:
             return
         if self._level is not None or self._tag or self._stream is not None:
-            event = KernelEvent(
-                kernel=event.kernel,
-                batch=event.batch,
-                shape=event.shape,
-                flops=event.flops,
-                bytes_moved=event.bytes_moved,
-                dtype_size=event.dtype_size,
-                strided=event.strided,
+            event = replace(
+                event,
                 stream=event.stream if event.stream is not None else self._stream,
                 level=event.level if event.level is not None else self._level,
                 tag=event.tag or self._tag,

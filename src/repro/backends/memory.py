@@ -16,7 +16,7 @@ terabytes.  This module provides the bookkeeping for that question:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .device import DeviceSpec
 

@@ -40,6 +40,8 @@ class ExecutionEstimate:
     total_bytes: float
     #: per-kernel breakdown of compute time
     by_kernel: Dict[str, float] = field(default_factory=dict)
+    #: physical kernel launches: one per shape bucket of every dispatch
+    num_kernel_launches: int = 0
 
     @property
     def total_time(self) -> float:
@@ -85,6 +87,10 @@ class PerformanceModel:
         by_kernel: Dict[str, float] = {}
         for ev in trace.events:
             t = self.device.kernel_time(ev.flops, ev.bytes_moved, ev.dtype_size)
+            # a shape-bucketed dispatch issues one physical kernel per bucket,
+            # so charge the fixed launch cost once per bucket
+            if ev.buckets > 1:
+                t += (ev.buckets - 1) * self.device.launch_overhead
             if ev.stream is not None:
                 # launches overlapped across streams hide part of the fixed cost
                 t -= self.stream_overlap * self.device.launch_overhead
@@ -105,6 +111,7 @@ class PerformanceModel:
             total_flops=trace.total_flops,
             total_bytes=trace.total_bytes,
             by_kernel=by_kernel,
+            num_kernel_launches=trace.num_kernel_launches,
         )
 
 

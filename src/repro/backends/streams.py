@@ -12,7 +12,7 @@ than one batched launch.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Sequence, TypeVar
 
 import numpy as np
 

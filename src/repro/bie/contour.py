@@ -16,7 +16,6 @@ index bisection, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
 
 import numpy as np
 

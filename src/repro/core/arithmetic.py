@@ -28,7 +28,6 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .cluster_tree import ClusterTree
 from .hodlr import HODLRMatrix
 from .low_rank import LowRankFactor
 

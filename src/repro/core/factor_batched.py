@@ -37,14 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..backends.batched import (
-    BatchedBackend,
-    BatchedLU,
-    gemm_batched,
-    gemm_strided_batched,
-    getrf_batched,
-    getrs_batched,
-)
+from ..backends.batched import BatchedBackend, BatchedLU
 from ..backends.counters import KernelTrace, get_recorder
 from ..backends.streams import StreamPool
 from .bigdata import BigMatrices
@@ -86,7 +79,9 @@ class BatchedFactorization:
         """Compute ``op(A_i) @ B_i`` for all blocks of a level.
 
         Chooses between emulated streams (few nodes), the strided-batched
-        fast path (uniform shapes), and the pointer-array batched kernel.
+        fast path (uniform shapes), and the shape-bucketed pointer-array
+        batched kernel (heterogeneous shapes; one strided launch per shape
+        bucket, dispatched by the backend).
         """
         nblocks = len(A_blocks)
         if nblocks == 0:
@@ -102,9 +97,11 @@ class BatchedFactorization:
         if len(shapes_a) == 1 and len(shapes_b) == 1:
             A3 = np.stack(A_blocks)
             B3 = np.stack(B_blocks)
-            out = gemm_strided_batched(A3, B3, conjugate_a=conjugate_a)
+            out = self.backend.gemm_strided_batched(A3, B3, conjugate_a=conjugate_a)
             return list(out)
-        return gemm_batched(list(A_blocks), list(B_blocks), conjugate_a=conjugate_a)
+        return self.backend.gemm_batched(
+            list(A_blocks), list(B_blocks), conjugate_a=conjugate_a
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 3: factorization stage
@@ -127,10 +124,10 @@ class BatchedFactorization:
                     leaves = tree.leaves
                     stacked = data.leaf_blocks_stacked()
                     blocks = stacked if stacked is not None else [data.Dbig[l.index] for l in leaves]
-                    self.leaf_lu = getrf_batched(blocks, pivot=True)
+                    self.leaf_lu = self.backend.getrf_batched(blocks, pivot=True)
                     if self.Ybig.shape[1]:
                         rhs = [self.Ybig[data.node_rows(l), :] for l in leaves]
-                        sols = getrs_batched(self.leaf_lu, rhs)
+                        sols = self.backend.getrs_batched(self.leaf_lu, rhs)
                         for leaf, sol in zip(leaves, sols):
                             self.Ybig[data.node_rows(leaf), :] = sol
 
@@ -194,7 +191,7 @@ class BatchedFactorization:
                     K[r:, r:] = eye
                 K_blocks.append(K)
             K_stacked = np.stack(K_blocks)
-            self.k_lu[level] = getrf_batched(K_stacked, pivot=self.pivot)
+            self.k_lu[level] = self.backend.getrf_batched(K_stacked, pivot=self.pivot)
 
             if not ncoarse:
                 return
@@ -202,7 +199,7 @@ class BatchedFactorization:
             # line 9: batched solve of (13)
             K_rhs = [self._stack_k_rhs(W_rhs_blocks[2 * i], W_rhs_blocks[2 * i + 1])
                      for i in range(len(gammas))]
-            W_solved = getrs_batched(self.k_lu[level], K_rhs)
+            W_solved = self.backend.getrs_batched(self.k_lu[level], K_rhs)
 
             # line 10: update Ybig(:, 1:r*ell) -= Y (.) W
             W_half_blocks = []
@@ -252,7 +249,7 @@ class BatchedFactorization:
                 with rec.context(level=tree.levels):
                     leaves = tree.leaves
                     rhs = [x[data.node_rows(l)] for l in leaves]
-                    sols = getrs_batched(self.leaf_lu, rhs)
+                    sols = self.backend.getrs_batched(self.leaf_lu, rhs)
                     for leaf, sol in zip(leaves, sols):
                         x[data.node_rows(leaf)] = sol
 
@@ -277,7 +274,7 @@ class BatchedFactorization:
                         # line 5: batched K solve
                         K_rhs = [self._stack_k_rhs(w_blocks[2 * i], w_blocks[2 * i + 1])
                                  for i in range(len(gammas))]
-                        w_solved = getrs_batched(self.k_lu[level], K_rhs)
+                        w_solved = self.backend.getrs_batched(self.k_lu[level], K_rhs)
 
                         # line 6: x -= Y (.) w
                         w_half = []

@@ -19,7 +19,10 @@ Algorithm 2 (solution)
 
 This variant issues one ordinary LAPACK call per block (no batching); it is
 the single-threaded CPU execution of the paper's data structure, and it is
-the code path whose per-call shapes the batched GPU variant fuses.
+the code path whose per-call shapes the batched GPU variant fuses.  The
+dense per-block primitives are routed through an
+:class:`~repro.backends.dispatch.ArrayBackend` so alternative array
+libraries plug in without changing the schedule.
 """
 
 from __future__ import annotations
@@ -28,11 +31,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
-from scipy import linalg as sla
 
+from ..backends.dispatch import ArrayBackend, get_backend
 from .bigdata import BigMatrices
-from .cluster_tree import TreeNode
-from .hodlr import HODLRMatrix
 
 
 @dataclass
@@ -40,6 +41,8 @@ class FlatFactorization:
     """Output of Algorithm 1, consumed by Algorithm 2."""
 
     data: BigMatrices
+    #: array backend executing the per-block LU factorizations and solves
+    backend: Optional[ArrayBackend] = None
     #: Ybig overwrites Ubig during factorization (kept as a separate array so
     #: the original BigMatrices object can be reused).
     Ybig: Optional[np.ndarray] = None
@@ -47,22 +50,28 @@ class FlatFactorization:
     k_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     factored: bool = False
 
+    def _backend(self) -> ArrayBackend:
+        if self.backend is None:
+            self.backend = get_backend("numpy")
+        return self.backend
+
     # ------------------------------------------------------------------
     # Algorithm 1: factorization stage
     # ------------------------------------------------------------------
     def factorize(self) -> "FlatFactorization":
         data = self.data
         tree = data.tree
+        xb = self._backend()
         self.Ybig = data.Ubig.copy()  # line 1: Ybig overwrites Ubig
 
         # lines 2-5: leaf diagonal blocks
         for leaf in tree.leaves:
             D = data.Dbig[leaf.index]
-            lu, piv = sla.lu_factor(D, check_finite=False)
+            lu, piv = xb.lu_factor(D)
             self.leaf_lu[leaf.index] = (lu, piv)
             rows = data.node_rows(leaf)
             if self.Ybig.shape[1]:
-                self.Ybig[rows, :] = sla.lu_solve((lu, piv), self.Ybig[rows, :], check_finite=False)
+                self.Ybig[rows, :] = xb.lu_solve(lu, piv, self.Ybig[rows, :])
 
         # lines 6-13: levels L-1 down to 0
         for level in range(tree.levels - 1, -1, -1):
@@ -86,7 +95,7 @@ class FlatFactorization:
                 K[:r, r:] = np.eye(r, dtype=self.Ybig.dtype)
                 K[r:, :r] = np.eye(r, dtype=self.Ybig.dtype)
                 K[r:, r:] = Vb.conj().T @ Yb
-                lu, piv = sla.lu_factor(K, check_finite=False) if r else (K, np.empty(0, int))
+                lu, piv = xb.lu_factor(K) if r else (K, np.empty(0, int))
                 self.k_lu[gamma.index] = (lu, piv)
 
                 # lines 10-11: solve (13) and update (14) on the coarser columns
@@ -99,7 +108,7 @@ class FlatFactorization:
                         Vb.conj().T @ self.Ybig[rows_b, coarse_cols],
                     ]
                 )
-                W = sla.lu_solve((lu, piv), rhs, check_finite=False)
+                W = xb.lu_solve(lu, piv, rhs)
                 Wa, Wb = W[:r], W[r:]
                 self.Ybig[rows_a, coarse_cols] -= Ya @ Wa
                 self.Ybig[rows_b, coarse_cols] -= Yb @ Wb
@@ -116,6 +125,7 @@ class FlatFactorization:
             raise RuntimeError("call factorize() before solve()")
         data = self.data
         tree = data.tree
+        xb = self._backend()
         b = np.asarray(b)
         if b.shape[0] != data.n:
             raise ValueError(f"right-hand side has {b.shape[0]} rows, expected {data.n}")
@@ -127,7 +137,7 @@ class FlatFactorization:
         for leaf in tree.leaves:
             rows = data.node_rows(leaf)
             lu, piv = self.leaf_lu[leaf.index]
-            x[rows] = sla.lu_solve((lu, piv), x[rows], check_finite=False)
+            x[rows] = xb.lu_solve(lu, piv, x[rows])
 
         # lines 5-11: level sweep
         for level in range(tree.levels - 1, -1, -1):
@@ -147,7 +157,7 @@ class FlatFactorization:
 
                 rhs = np.vstack([Va.conj().T @ x[rows_a], Vb.conj().T @ x[rows_b]])
                 lu, piv = self.k_lu[gamma.index]
-                w = sla.lu_solve((lu, piv), rhs, check_finite=False)
+                w = xb.lu_solve(lu, piv, rhs)
                 wa, wb = w[:r], w[r:]
                 x[rows_a] -= Ya @ wa
                 x[rows_b] -= Yb @ wb

@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
-from scipy import linalg as sla
 
-from .cluster_tree import ClusterTree, TreeNode
+from ..backends.dispatch import ArrayBackend, get_backend
+from .cluster_tree import TreeNode
 from .hodlr import HODLRMatrix
 
 
@@ -37,6 +37,8 @@ class RecursiveFactorization:
     """Stored output of the recursive factorization."""
 
     hodlr: HODLRMatrix
+    #: array backend executing the per-node LU factorizations and solves
+    backend: Optional[ArrayBackend] = None
     #: leaf index -> (lu, piv) of the dense diagonal block
     leaf_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     #: non-leaf index -> (lu, piv) of K_gamma (equation (11))
@@ -44,6 +46,11 @@ class RecursiveFactorization:
     #: non-root index -> Y_alpha = A_alpha^{-1} U_alpha
     Y: Dict[int, np.ndarray] = field(default_factory=dict)
     factored: bool = False
+
+    def _backend(self) -> ArrayBackend:
+        if self.backend is None:
+            self.backend = get_backend("numpy")
+        return self.backend
 
     # ------------------------------------------------------------------
     # factorization
@@ -58,7 +65,7 @@ class RecursiveFactorization:
     def _factor_node(self, node: TreeNode) -> None:
         tree = self.hodlr.tree
         if tree.is_leaf(node):
-            lu, piv = sla.lu_factor(self.hodlr.diag[node.index], check_finite=False)
+            lu, piv = self._backend().lu_factor(self.hodlr.diag[node.index])
             self.leaf_lu[node.index] = (lu, piv)
             return
 
@@ -85,7 +92,7 @@ class RecursiveFactorization:
         K[:r2, r1:] = np.eye(r2)
         K[r2:, :r1] = np.eye(r1)
         K[r2:, r1:] = Vb.conj().T @ Y_right
-        lu, piv = sla.lu_factor(K, check_finite=False)
+        lu, piv = self._backend().lu_factor(K)
         self.k_lu[node.index] = (lu, piv)
 
     def _apply_node_inverse(self, node: TreeNode, rhs: np.ndarray) -> np.ndarray:
@@ -102,7 +109,7 @@ class RecursiveFactorization:
 
         if tree.is_leaf(node):
             lu, piv = self.leaf_lu[node.index]
-            out = sla.lu_solve((lu, piv), B, check_finite=False)
+            out = self._backend().lu_solve(lu, piv, B)
             return out.ravel() if squeeze else out
 
         left, right = tree.children(node)
@@ -124,7 +131,7 @@ class RecursiveFactorization:
         # ordered by K's block columns: w_left (r1 rows) then w_right (r2 rows).
         rhs_small = np.vstack([Va.conj().T @ z_left, Vb.conj().T @ z_right])
         lu, piv = self.k_lu[node.index]
-        w = sla.lu_solve((lu, piv), rhs_small, check_finite=False)
+        w = self._backend().lu_solve(lu, piv, rhs_small)
         w_left, w_right = w[:r1], w[r1:]
 
         out = np.empty_like(B, dtype=np.result_type(B.dtype, Y_left.dtype))

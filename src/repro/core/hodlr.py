@@ -25,15 +25,13 @@ Construction paths
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from .cluster_tree import ClusterTree, TreeNode
 from .compression import BlockEvaluator, CompressionConfig, compress_block
-from .low_rank import LowRankFactor
-
 
 @dataclass
 class HODLRMatrix:

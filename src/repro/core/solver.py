@@ -24,13 +24,14 @@ Variants
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..backends.batched import BatchedBackend
 from ..backends.counters import KernelTrace
+from ..backends.dispatch import ArrayBackend, DispatchPolicy
 from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
 from .bigdata import BigMatrices
 from .factor_batched import BatchedFactorization
@@ -72,6 +73,14 @@ class HODLRSolver:
     stream_cutoff:
         Node-count threshold below which the batched variant dispatches on
         emulated CUDA streams.
+    backend:
+        A :class:`~repro.backends.batched.BatchedBackend` instance, an
+        :class:`~repro.backends.dispatch.ArrayBackend` instance, or the
+        name of a registered array backend (``"numpy"``, ``"cupy"``).
+    dispatch_policy:
+        Shape-bucketing policy for the batched primitives; see
+        :class:`~repro.backends.dispatch.DispatchPolicy`.  ``None`` uses the
+        default (bucketing enabled).
     """
 
     def __init__(
@@ -81,7 +90,8 @@ class HODLRSolver:
         dtype=None,
         pivot: bool = True,
         stream_cutoff: int = 4,
-        backend: Optional[BatchedBackend] = None,
+        backend: Optional[Union[str, ArrayBackend, BatchedBackend]] = None,
+        dispatch_policy: Optional[DispatchPolicy] = None,
     ) -> None:
         if variant not in _VARIANTS:
             raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
@@ -89,7 +99,15 @@ class HODLRSolver:
         self.hodlr = hodlr if dtype is None else hodlr.astype(dtype)
         self.pivot = pivot
         self.stream_cutoff = stream_cutoff
-        self.backend = backend or BatchedBackend()
+        if isinstance(backend, BatchedBackend):
+            if dispatch_policy is not None:
+                # update the policy in place so subclasses (counting /
+                # fault-injecting test backends) keep their behaviour
+                backend.policy = dispatch_policy
+            self.backend = backend
+        else:
+            # a registered backend name, a bare ArrayBackend, or None
+            self.backend = BatchedBackend(array_backend=backend, policy=dispatch_policy)
         self.stats = SolveStats()
         self._impl: Optional[
             Union[RecursiveFactorization, FlatFactorization, BatchedFactorization]
@@ -101,12 +119,17 @@ class HODLRSolver:
     # ------------------------------------------------------------------
     def factorize(self) -> "HODLRSolver":
         t0 = time.perf_counter()
+        array_backend = self.backend.array_backend
         if self.variant == "recursive":
-            self._impl = RecursiveFactorization(hodlr=self.hodlr).factorize()
+            self._impl = RecursiveFactorization(
+                hodlr=self.hodlr, backend=array_backend
+            ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         elif self.variant == "flat":
             self._bigdata = BigMatrices.from_hodlr(self.hodlr)
-            self._impl = FlatFactorization(data=self._bigdata).factorize()
+            self._impl = FlatFactorization(
+                data=self._bigdata, backend=array_backend
+            ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         else:
             self._bigdata = BigMatrices.from_hodlr(self.hodlr)

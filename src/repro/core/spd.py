@@ -25,7 +25,7 @@ factorization.  The result supports applying ``W``, ``W^{-1}``, solving
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 from scipy import linalg as sla
