@@ -31,9 +31,9 @@ from repro import (
     BlockSparseSolver,
     HODLRlibStyleSolver,
     HODLRMatrix,
-    HODLRSolver,
     PerformanceModel,
 )
+from repro.api import HODLROperator, SolverConfig
 from repro.backends.device import CPU_XEON_6254_DUAL, GPU_V100
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -93,24 +93,30 @@ def timed(fn: Callable, *args, **kwargs):
 # ----------------------------------------------------------------------
 # solver runners shared by the table harnesses
 # ----------------------------------------------------------------------
-def run_gpu_hodlr(hodlr: HODLRMatrix, b: np.ndarray, dtype=None):
+def run_gpu_hodlr(hodlr: HODLRMatrix, b: np.ndarray, dtype=None, config: SolverConfig = None):
     """The paper's GPU HODLR solver: batched schedule + V100 performance model.
 
-    Returns ``(SolverRow, solution, solver)`` so callers can compute residuals
-    and reuse the factorization.
+    Runs through the :mod:`repro.api` facade.  Returns
+    ``(SolverRow, solution, operator)`` so callers can compute residuals and
+    reuse the factorization.
     """
-    solver = HODLRSolver(hodlr, variant="batched", dtype=dtype)
-    _, tf = timed(solver.factorize)
-    x, ts = timed(solver.solve, b if dtype is None else b.astype(dtype))
-    est = solver.modeled_times(GPU_MODEL)
+    if config is None:
+        config = SolverConfig()
+    if dtype is not None:
+        config = config.replace(dtype=np.dtype(dtype).name)
+    operator = HODLROperator(hodlr, config)
+    _ = operator.hodlr  # materialise any dtype cast outside the timed region
+    _, tf = timed(operator.factorize)
+    x, ts = timed(operator.solve, b if dtype is None else b.astype(dtype))
+    est = operator.modeled_times(GPU_MODEL)
     row = SolverRow(
         tf=tf,
         ts=ts,
-        mem_gb=solver.memory_gb,
+        mem_gb=operator.memory_gb,
         modeled_tf=est["factorization"].total_time,
         modeled_ts=est["solution"].total_time,
     )
-    return row, x, solver
+    return row, x, operator
 
 
 def run_serial_hodlr(hodlr: HODLRMatrix, b: np.ndarray) -> SolverRow:

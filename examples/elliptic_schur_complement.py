@@ -12,22 +12,29 @@ variable-coefficient Poisson problem:
    level of nested dissection),
 3. form the separator Schur complement *matrix-free* and compress it with
    the peeling algorithm (only ~2(r + p) operator applications),
-4. factorize the compressed Schur complement with the batched HODLR solver,
+4. factorize the compressed Schur complement through the ``repro.api``
+   facade (the ``SchurComplementSolver`` routes its factorization through
+   ``HODLROperator`` under the given ``SolverConfig``),
 5. solve the full sparse system by block elimination and verify against a
    manufactured solution and against SuperLU.
 
-Run with:  python examples/elliptic_schur_complement.py
+Run with:  python examples/elliptic_schur_complement.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro import RegularGrid2D, SchurComplementSolver, poisson_manufactured_solution
+from repro.api import SolverConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def main() -> None:
-    # a stretched grid: long separator (129 points) to make the Schur complement interesting
-    grid = RegularGrid2D(nx=63, ny=129)
+def main(smoke: bool = SMOKE) -> None:
+    # a stretched grid: long separator to make the Schur complement interesting
+    grid = RegularGrid2D(nx=31, ny=65) if smoke else RegularGrid2D(nx=63, ny=129)
     print(f"grid                   : {grid.nx} x {grid.ny} = {grid.num_points} unknowns")
     left, right, sep = grid.separator_partition()
     print(f"partition              : {left.size} + {right.size} interior, {sep.size} separator")
@@ -36,7 +43,8 @@ def main() -> None:
         return 1.0 + 0.8 * np.sin(2 * np.pi * x) * np.sin(np.pi * y) ** 2
 
     solver = SchurComplementSolver(
-        grid=grid, a=diffusion, b=0.1, tol=1e-10, rank=28, leaf_size=16
+        grid=grid, a=diffusion, b=0.1, tol=1e-10, rank=28, leaf_size=16,
+        solver_config=SolverConfig(variant="batched"),
     ).build()
     print(f"Schur complement size  : {sep.size} x {sep.size}")
     print(f"Schur HODLR ranks      : {solver.schur_rank_profile()}")

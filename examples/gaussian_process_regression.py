@@ -7,74 +7,69 @@ direct methods for Gaussian processes").  A GP regression needs, for the
 kernel matrix ``K + sigma_n^2 I``:
 
 * solves against the training targets (posterior mean),
-* solves against test-kernel columns (posterior variance),
 * the log-determinant (marginal likelihood, hyper-parameter selection),
 * samples from the prior/posterior (via the symmetric factorization).
 
-All four are near-linear with the HODLR factorization; this example fits a
-1-D GP to noisy observations and reports the marginal likelihood computed
-both exactly (dense Cholesky) and through the HODLR factorization.
+All are near-linear with the HODLR factorization.  The registered
+``"gp_covariance"`` problem carries the training targets as its natural
+right-hand side, so ``repro.solve`` with no explicit ``b`` returns the
+representer weights ``alpha``; the returned operator supplies the
+log-determinant for the marginal likelihood.
 
-Run with:  python examples/gaussian_process_regression.py
+Run with:  python examples/gaussian_process_regression.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 
-from repro import (
-    ClusterTree,
-    HODLRSolver,
-    MaternKernel,
-    SymmetricFactorization,
-    build_hodlr,
-)
+import repro
+from repro import MaternKernel, SymmetricFactorization
+from repro.api import CompressionConfig, SolverConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def true_function(x: np.ndarray) -> np.ndarray:
-    return np.sin(6.0 * x) + 0.5 * np.cos(17.0 * x) * x
-
-
-def main() -> None:
+def main(smoke: bool = SMOKE) -> None:
     rng = np.random.default_rng(4)
 
-    # --- training data ---------------------------------------------------------
-    n_train = 3000
+    # --- training data + covariance, assembled by the registered problem --------
+    n_train = 768 if smoke else 3000
     noise_std = 0.05
-    x_train = np.sort(rng.uniform(0.0, 1.0, n_train))
-    y_train = true_function(x_train) + noise_std * rng.standard_normal(n_train)
+    lengthscale = 0.08
+    config = SolverConfig(compression=CompressionConfig(tol=1e-8, method="rook"))
+    gp = repro.get_problem(
+        "gp_covariance", n=n_train, lengthscale=lengthscale, nu=1.5, noise_std=noise_std
+    )
+    result = repro.solve(gp, config=config)      # b defaults to the training targets
+    alpha = result.x
+    x_train = result.problem.metadata["x_train"]
+    y_train = result.problem.metadata["y_train"]
 
-    kernel = MaternKernel(lengthscale=0.08, nu=1.5)
+    kernel = MaternKernel(lengthscale=lengthscale, nu=1.5)
     print(f"training points        : {n_train}")
-    print(f"kernel                 : Matern(nu=1.5, l={kernel.lengthscale})")
-
-    # --- HODLR compression of K + sigma_n^2 I -----------------------------------
-    def covariance_entries(rows, cols):
-        block = kernel(x_train[rows].reshape(-1, 1), x_train[cols].reshape(-1, 1))
-        return block + (noise_std ** 2) * (rows[:, None] == cols[None, :])
-
-    tree = ClusterTree.balanced(n_train, leaf_size=64)
-    hodlr = build_hodlr(covariance_entries, tree, tol=1e-8, method="rook")
+    print(f"kernel                 : Matern(nu=1.5, l={lengthscale})")
+    hodlr = result.operator.hodlr
     print(f"off-diagonal ranks     : {hodlr.rank_profile()}")
     print(f"HODLR memory           : {hodlr.nbytes / 1e6:.1f} MB "
           f"(dense: {8 * n_train ** 2 / 1e6:.1f} MB)")
-
-    solver = HODLRSolver(hodlr, variant="batched").factorize()
+    print(f"solve residual         : {result.relative_residual:.2e}")
 
     # --- posterior mean at test points -------------------------------------------
     x_test = np.linspace(0.0, 1.0, 400)
     K_star = kernel(x_test.reshape(-1, 1), x_train.reshape(-1, 1))
-    alpha = solver.solve(y_train)
     mean = K_star @ alpha
-    rmse = float(np.sqrt(np.mean((mean - true_function(x_test)) ** 2)))
+    rmse = float(np.sqrt(np.mean((mean - gp.true_function(x_test)) ** 2)))
     print(f"posterior-mean RMSE    : {rmse:.4f} (noise level {noise_std})")
 
     # --- marginal likelihood -------------------------------------------------------
     # log p(y) = -1/2 y^T alpha - 1/2 log det(K + s^2 I) - n/2 log(2 pi)
-    logdet = solver.logdet()
+    logdet = result.operator.logdet()
     loglik = -0.5 * float(y_train @ alpha) - 0.5 * logdet - 0.5 * n_train * np.log(2 * np.pi)
     print(f"log det (HODLR)        : {logdet:.4f}")
     print(f"log marginal likelihood: {loglik:.2f}")
 
-    # dense cross-check on a subsample (full dense Cholesky at n=3000 is still fine)
+    # dense cross-check (full dense Cholesky at this size is still fine)
     K_dense = kernel(x_train.reshape(-1, 1), x_train.reshape(-1, 1)) + noise_std ** 2 * np.eye(
         n_train
     )

@@ -4,7 +4,9 @@
 The paper's central engineering claim is that concatenating all low-rank
 bases into ``Ubig``/``Vbig`` turns the factorization into a handful of
 *batched* kernel launches per tree level, which a GPU executes at high
-efficiency.  This example makes that schedule visible:
+efficiency.  This example makes that schedule visible — with every solver
+constructed through ``repro.build_operator`` and a ``SolverConfig``, so
+variant / pivoting / stream choices are plain configuration:
 
 * it factorizes the same HODLR matrix with the flat (per-block LAPACK) and
   the batched schedule,
@@ -12,21 +14,24 @@ efficiency.  This example makes that schedule visible:
   level by level,
 * prices the trace on the V100-like and Xeon-like device models, showing
   how the modeled speedup grows with the problem size (the shape of Fig. 5),
-* compares pointer-array batching, strided batching, and CUDA-stream
-  dispatch for the top levels (the ablations of section III-C).
+* compares stream dispatch and pivoting choices for the top levels (the
+  ablations of section III-C).
 
-Run with:  python examples/gpu_execution_model.py
+Run with:  python examples/gpu_execution_model.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 
-from repro import (
-    ClusterTree,
-    HODLRSolver,
-    PerformanceModel,
-    build_hodlr,
-)
+import repro
+from repro import PerformanceModel
+from repro.api import CompressionConfig, SolverConfig
 from repro.backends.device import CPU_XEON_6254_DUAL, GPU_V100
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+CONFIG = SolverConfig(compression=CompressionConfig(tol=1e-8, method="svd", leaf_size=64))
 
 
 def structured_matrix(n: int, seed: int = 0) -> np.ndarray:
@@ -51,35 +56,31 @@ def trace_table(trace) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(smoke: bool = SMOKE) -> None:
     rng = np.random.default_rng(5)
     gpu_model = PerformanceModel(device=GPU_V100)
     cpu_model = PerformanceModel(device=CPU_XEON_6254_DUAL, link=None)
 
     print("=== batched execution schedule ===")
-    n = 8192
-    A = structured_matrix(n)
-    tree = ClusterTree.balanced(n, leaf_size=64)
-    hodlr = build_hodlr(A, tree, tol=1e-8, method="svd")
-    solver = HODLRSolver(hodlr, variant="batched").factorize()
-    solver.solve(rng.standard_normal(n))
+    n = 1024 if smoke else 8192
+    op = repro.build_operator(structured_matrix(n), config=CONFIG).factorize()
+    op.solve(rng.standard_normal(n))
 
-    print(f"matrix size {n}, {tree.levels} levels, ranks {hodlr.rank_profile()}")
+    hodlr = op.hodlr
+    print(f"matrix size {n}, {hodlr.tree.levels} levels, ranks {hodlr.rank_profile()}")
     print("factorization trace:")
-    print(trace_table(solver.factor_trace))
+    print(trace_table(op.factor_trace))
     print("solution trace:")
-    print(trace_table(solver.last_solve_trace))
+    print(trace_table(op.last_solve_trace))
     print(f"kernel launches per level (factorization): "
-          f"{dict(sorted((k, v) for k, v in solver.factor_trace.launches_by_level().items() if k is not None))}")
+          f"{dict(sorted((k, v) for k, v in op.factor_trace.launches_by_level().items() if k is not None))}")
 
     print("\n=== modeled device times (same kernel trace priced on two devices) ===")
     print(f"{'N':>8} {'GPU factor':>12} {'CPU factor':>12} {'speedup':>9} "
           f"{'GPU solve':>12} {'CPU solve':>12} {'speedup':>9}")
-    for size in [1024, 2048, 4096, 8192]:
-        A = structured_matrix(size)
-        tree = ClusterTree.balanced(size, leaf_size=64)
-        H = build_hodlr(A, tree, tol=1e-8, method="svd")
-        s = HODLRSolver(H, variant="batched").factorize()
+    sizes = [512, 1024] if smoke else [1024, 2048, 4096, 8192]
+    for size in sizes:
+        s = repro.build_operator(structured_matrix(size), config=CONFIG).factorize()
         s.solve(rng.standard_normal(size))
         g = s.modeled_times(gpu_model)
         c = s.modeled_times(cpu_model)
@@ -94,16 +95,15 @@ def main() -> None:
         )
 
     print("\n=== dispatch ablation (section III-C) ===")
-    n = 4096
+    n = 1024 if smoke else 4096
     A = structured_matrix(n)
-    tree = ClusterTree.balanced(n, leaf_size=64)
-    H = build_hodlr(A, tree, tol=1e-8, method="svd")
-    for label, kwargs in [
+    assembled = repro.api.assemble(A, CONFIG)     # compress once, factorize per config
+    for label, overrides in [
         ("streams for top levels (cutoff 4)", dict(stream_cutoff=4)),
         ("pure batched kernels (cutoff 0)", dict(stream_cutoff=0)),
         ("no pivoting in K solves", dict(pivot=False)),
     ]:
-        s = HODLRSolver(H, variant="batched", **kwargs).factorize()
+        s = repro.build_operator(assembled, config=CONFIG.replace(**overrides)).factorize()
         b = rng.standard_normal(n)
         x = s.solve(b)
         est = s.modeled_times(gpu_model)["factorization"]

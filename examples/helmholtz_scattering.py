@@ -3,58 +3,50 @@
 
 The combined-field integral equation (24) with the 6th-order Kapur-Rokhlin
 quadrature is "notoriously difficult to solve iteratively" (paper); this
-example demonstrates both remedies the paper builds:
+example demonstrates both remedies the paper builds, through ``repro.api``:
 
-* a high-accuracy HODLR factorization used as a *fast direct solver*, and
+* a high-accuracy HODLR factorization used as a *fast direct solver*
+  (``repro.solve`` on the registered ``"helmholtz_bie"`` problem), and
 * a low-accuracy HODLR factorization used as a *robust preconditioner* for
-  GMRES — the iteration count collapses compared to unpreconditioned GMRES.
+  GMRES — ``repro.build_operator`` with a loose tolerance, passed straight
+  to ``gmres_solve`` — the iteration count collapses compared to
+  unpreconditioned GMRES.
 
-Run with:  python examples/helmholtz_scattering.py
+Run with:  python examples/helmholtz_scattering.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 
-from repro import (
-    HODLRPreconditioner,
-    HODLRSolver,
-    HelmholtzCombinedBIE,
-    ProxyCompressionConfig,
-    StarContour,
-    build_hodlr_proxy,
-    gmres_with_hodlr,
-    helmholtz_dirichlet_reference,
-)
+import repro
+from repro import helmholtz_dirichlet_reference
+from repro.api import CompressionConfig, SolverConfig, gmres_solve
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def main() -> None:
-    rng = np.random.default_rng(3)
-
+def main(smoke: bool = SMOKE) -> None:
     # --- problem setup -------------------------------------------------------
-    kappa = 25.0          # the paper uses kappa = 100 at N >= 32768; scaled down here
-    n = 2048
-    bie = HelmholtzCombinedBIE(contour=StarContour(), n=n, kappa=kappa)
+    kappa = 10.0 if smoke else 25.0   # the paper uses kappa = 100 at N >= 32768
+    n = 512 if smoke else 2048
+    config_hi = SolverConfig(
+        compression=CompressionConfig(tol=1e-8, method="proxy", n_proxy=96, leaf_size=128)
+    )
+    problem = repro.get_problem("helmholtz_bie", n=n, kappa=kappa).assemble(config_hi)
+    bie = problem.metadata["bie"]
+    incident = problem.metadata["incident"]
+    f = problem.rhs                   # -u_inc on Gamma (scattering boundary data)
     print(f"wavenumber kappa       : {kappa}   (eta = {bie.eta})")
     print(f"boundary nodes         : {n}  "
           f"(~{n / (bie.nodes.arc_length * kappa / (2 * np.pi)):.1f} points per wavelength)")
 
-    # incident field: plane wave; scattered field solves the exterior Dirichlet
-    # problem with boundary data u_s = -u_inc on Gamma
-    direction = np.array([1.0, 0.3]) / np.linalg.norm([1.0, 0.3])
-
-    def incident(points):
-        return np.exp(1j * kappa * (points @ direction))
-
-    f = -incident(bie.points)
-
     # --- high-accuracy direct solver -------------------------------------------
-    hodlr_hi = build_hodlr_proxy(bie, config=ProxyCompressionConfig(tol=1e-8, n_proxy=96),
-                                 leaf_size=128)
-    solver_hi = HODLRSolver(hodlr_hi, variant="batched").factorize()
-    sigma = solver_hi.solve(f)
-    relres = np.linalg.norm(bie.matvec(sigma) - f) / np.linalg.norm(f)
+    result = repro.solve(problem, f, config=config_hi, compute_residual="exact")
+    sigma = result.x
     print("\n-- high-accuracy direct solver (tol 1e-8) --")
-    print(f"off-diagonal ranks     : {hodlr_hi.rank_profile()}")
-    print(f"relative residual      : {relres:.2e}")
+    print(f"off-diagonal ranks     : {result.operator.hodlr.rank_profile()}")
+    print(f"relative residual      : {result.relative_residual:.2e}")
 
     # total field sampled on a small exterior grid (scattered + incident)
     probes = np.array([[3.5, 0.0], [0.0, 3.0], [-3.0, -1.0]])
@@ -63,23 +55,28 @@ def main() -> None:
 
     # --- accuracy cross-check with a manufactured solution ----------------------
     u_exact = helmholtz_dirichlet_reference(np.array([[0.1, 0.0]]), np.array([1.0]), kappa)
-    sigma_m = solver_hi.solve(bie.boundary_data(u_exact))
+    sigma_m = result.operator.solve(bie.boundary_data(u_exact))
     err = np.max(np.abs(bie.evaluate_potential(sigma_m, probes) - u_exact(probes)))
     print(f"manufactured-solution PDE error: {err:.2e}")
 
     # --- low-accuracy preconditioner for GMRES ----------------------------------
-    hodlr_lo = build_hodlr_proxy(bie, config=ProxyCompressionConfig(tol=1e-3, n_proxy=64),
-                                 leaf_size=128)
-    precond = HODLRPreconditioner(HODLRSolver(hodlr_lo, variant="batched"))
+    config_lo = SolverConfig(
+        compression=CompressionConfig(tol=1e-3, method="proxy", n_proxy=64, leaf_size=128)
+    )
+    precond = repro.build_operator("helmholtz_bie", config=config_lo, n=n, kappa=kappa)
     print("\n-- GMRES on the dense operator --")
-    _, info_plain, log_plain = gmres_with_hodlr(bie.matvec, f, tol=1e-8, maxiter=200)
-    x_prec, info_prec, log_prec = gmres_with_hodlr(
-        bie.matvec, f, preconditioner=precond, tol=1e-8, maxiter=200
+    # densify once: GMRES needs thousands of matvecs and the lazy
+    # Hankel-function assembly would dominate the comparison
+    A_dense = bie.dense()
+    _, info_plain, log_plain = gmres_solve(A_dense, f, tol=1e-8, maxiter=200)
+    x_prec, info_prec, log_prec = gmres_solve(
+        A_dense, f, preconditioner=precond, tol=1e-8, maxiter=200
     )
     print(f"unpreconditioned       : {log_plain.iterations} iterations "
           f"(info={info_plain})")
     print(f"HODLR-preconditioned   : {log_prec.iterations} iterations "
-          f"(info={info_prec}), preconditioner ranks {hodlr_lo.rank_profile()}")
+          f"(info={info_prec}), preconditioner ranks "
+          f"{precond.hodlr.rank_profile()}")
     final_res = np.linalg.norm(bie.matvec(x_prec) - f) / np.linalg.norm(f)
     print(f"preconditioned residual: {final_res:.2e}")
 

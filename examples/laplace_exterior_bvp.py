@@ -1,62 +1,51 @@
 #!/usr/bin/env python
 """Exterior Laplace boundary value problem via a second-kind BIE (paper, section IV-B).
 
-Workflow (the miniature of Table IV):
+Workflow (the miniature of Table IV), expressed through ``repro.api``:
 
-1. discretize the star-shaped contour of Fig. 6 with the periodic
-   trapezoidal rule,
-2. assemble the double-layer + monopole-correction BIE of equation (21)
-   lazily (entries on demand),
-3. compress it to HODLR form with the proxy-surface technique,
-4. factorize with the batched solver at two accuracies:
+1. the registered ``"laplace_bie"`` problem discretizes the star-shaped
+   contour of Fig. 6, assembles the double-layer + monopole-correction BIE
+   of equation (21) lazily, and compresses it with the proxy-surface
+   technique (``CompressionConfig(method="proxy")``),
+2. the assembled problem is solved under two configs:
    a *fast direct solver* (tight tolerance) and a *robust preconditioner*
-   (loose tolerance + single precision),
-5. verify against a manufactured exterior harmonic field.
+   regime (loose tolerance + single precision, ``dtype="float32"``),
+3. both are verified against a manufactured exterior harmonic field.
 
-Run with:  python examples/laplace_exterior_bvp.py
+Run with:  python examples/laplace_exterior_bvp.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 
-from repro import (
-    HODLRSolver,
-    LaplaceDoubleLayerBIE,
-    ProxyCompressionConfig,
-    StarContour,
-    build_hodlr_proxy,
-    laplace_dirichlet_reference,
-)
+import repro
+from repro.api import CompressionConfig, SolverConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def main() -> None:
-    rng = np.random.default_rng(2)
+def main(smoke: bool = SMOKE) -> None:
+    n = 512 if smoke else 4096
 
-    # --- geometry and discretization ------------------------------------------
-    n = 4096
-    contour = StarContour()
-    bie = LaplaceDoubleLayerBIE(contour=contour, n=n)
+    # --- geometry, discretization, manufactured data (assembled once) ---------
+    config_hi = SolverConfig(
+        compression=CompressionConfig(tol=1e-10, method="proxy", leaf_size=64)
+    )
+    problem = repro.get_problem("laplace_bie", n=n).assemble(config_hi)
+    bie = problem.metadata["bie"]
+    u_exact = problem.metadata["u_exact"]
+    f = problem.rhs          # boundary data of the manufactured exterior field
     print(f"boundary nodes         : {n}")
     print(f"contour arc length     : {bie.nodes.arc_length:.4f}")
 
-    # --- manufactured exterior solution ----------------------------------------
-    # a charge and a dipole placed inside the contour produce a harmonic field in
-    # the exterior domain satisfying the decay condition (20)
-    u_exact = laplace_dirichlet_reference(
-        interior_sources=np.array([[0.2, 0.1], [-0.4, -0.2]]),
-        charges=np.array([1.0, -0.3]),
-        dipoles=np.array([0.8 + 0.1j, 0.0]),
-    )
-    f = bie.boundary_data(u_exact)
-
     # --- high accuracy: fast direct solver --------------------------------------
-    hodlr_hi = build_hodlr_proxy(bie, config=ProxyCompressionConfig(tol=1e-10), leaf_size=64)
-    solver_hi = HODLRSolver(hodlr_hi, variant="batched").factorize()
-    sigma = solver_hi.solve(f)
-    relres = np.linalg.norm(bie.matvec(sigma) - f) / np.linalg.norm(f)
+    result_hi = repro.solve(problem, f, config=config_hi, compute_residual="exact")
+    sigma = result_hi.x
     print("\n-- high-accuracy direct solver (tol 1e-10) --")
-    print(f"off-diagonal ranks     : {hodlr_hi.rank_profile()}")
-    print(f"factorization memory   : {solver_hi.memory_gb * 1e3:.1f} MB")
-    print(f"relative residual      : {relres:.2e}")
+    print(f"off-diagonal ranks     : {result_hi.operator.hodlr.rank_profile()}")
+    print(f"factorization memory   : {result_hi.operator.memory_gb * 1e3:.1f} MB")
+    print(f"relative residual      : {result_hi.relative_residual:.2e}")
 
     test_points = np.array([[3.0, 1.0], [-2.8, -1.9], [0.3, 2.7], [5.0, 0.0]])
     u_num = bie.evaluate_potential(sigma, test_points)
@@ -64,18 +53,21 @@ def main() -> None:
     print(f"max PDE error (exterior points): {err:.2e}")
 
     # --- low accuracy + single precision: compact robust solver -----------------
-    hodlr_lo = build_hodlr_proxy(bie, config=ProxyCompressionConfig(tol=1e-5), leaf_size=64)
-    solver_lo = HODLRSolver(hodlr_lo, variant="batched", dtype=np.float32).factorize()
-    sigma_lo = solver_lo.solve(f.astype(np.float32))
-    relres_lo = np.linalg.norm(bie.matvec(sigma_lo) - f) / np.linalg.norm(f)
+    config_lo = SolverConfig(
+        dtype="float32",
+        compression=CompressionConfig(tol=1e-5, method="proxy", leaf_size=64),
+    )
+    problem_lo = repro.get_problem("laplace_bie", n=n).assemble(config_lo)
+    result_lo = repro.solve(problem_lo, f, config=config_lo, compute_residual="exact")
     print("\n-- low-accuracy single-precision solver (tol 1e-5, float32) --")
-    print(f"off-diagonal ranks     : {hodlr_lo.rank_profile()}")
-    print(f"factorization memory   : {solver_lo.memory_gb * 1e3:.1f} MB "
-          f"({solver_lo.memory_gb / solver_hi.memory_gb:.2f}x of the high-accuracy one)")
-    print(f"relative residual      : {relres_lo:.2e}")
+    print(f"off-diagonal ranks     : {result_lo.operator.hodlr.rank_profile()}")
+    print(f"factorization memory   : {result_lo.operator.memory_gb * 1e3:.1f} MB "
+          f"({result_lo.operator.memory_gb / result_hi.operator.memory_gb:.2f}x "
+          f"of the high-accuracy one)")
+    print(f"relative residual      : {result_lo.relative_residual:.2e}")
 
     # --- modeled device times -----------------------------------------------------
-    est = solver_hi.modeled_times()
+    est = result_hi.operator.modeled_times()
     print("\n-- modeled V100 execution of the high-accuracy factorization --")
     print(f"factorization          : {est['factorization'].total_time * 1e3:.2f} ms, "
           f"{est['factorization'].gflops:.0f} GFlop/s")

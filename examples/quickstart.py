@@ -1,59 +1,58 @@
 #!/usr/bin/env python
-"""Quickstart: build, factorize and solve a HODLR system in a dozen lines.
+"""Quickstart: solve a registered problem through the unified API.
 
-This walks through the core workflow of the library on a small kernel
-matrix:
+Everything goes through the ``repro.api`` front door:
 
-1. generate a point set and a kernel matrix (lazily, never densified),
-2. build the cluster tree and the HODLR approximation,
-3. factorize with the batched (GPU-schedule) solver — Algorithm 3,
-4. solve, check the residual, evaluate the log-determinant,
-5. inspect the kernel trace and the modeled GPU execution time.
+1. pick a registered problem (here ``"gaussian_kernel"``: a lazily
+   evaluated kernel matrix over a 2-D point cloud, kd-tree ordered and
+   compressed with rook-pivoted cross approximation),
+2. describe *how* to solve it with an immutable ``SolverConfig``,
+3. call ``repro.solve`` — assembly, HODLR compression, batched
+   factorization (Algorithm 3), solve, and residual in one call,
+4. reuse the returned operator for the log-determinant and the modeled
+   GPU execution time of the recorded kernel trace.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py         (REPRO_SMOKE=1 for a small run)
 """
 
-import numpy as np
+import os
 
-from repro import (
-    GaussianKernel,
-    HODLRSolver,
-    KernelMatrix,
-    PerformanceModel,
-)
+import repro
+from repro import PerformanceModel
+from repro.api import CompressionConfig, SolverConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def main() -> None:
-    rng = np.random.default_rng(0)
+def main(smoke: bool = SMOKE) -> None:
+    n = 512 if smoke else 4096
 
-    # 1. a 2-D point cloud and a Gaussian kernel matrix with a nugget term
-    n = 4096
-    points = rng.uniform(-1.0, 1.0, size=(n, 2))
-    kernel_matrix = KernelMatrix(
-        kernel=GaussianKernel(lengthscale=0.25), points=points, diagonal_shift=1.0
+    # 1 + 2: the problem by name, the solver setup as an immutable config
+    config = SolverConfig(
+        variant="batched",
+        compression=CompressionConfig(tol=1e-8, method="rook", leaf_size=64),
     )
+    print(f"config                 : {config.to_dict()}")
 
-    # 2. HODLR compression (kd-tree ordering + rook-pivoted cross approximation)
-    hodlr, perm = kernel_matrix.to_hodlr(leaf_size=64, tol=1e-8, method="rook")
+    # 3: one call — assemble, compress, factorize, solve, residual
+    result = repro.solve("gaussian_kernel", config=config, n=n, lengthscale=0.25)
+
+    hodlr = result.operator.hodlr
     print(f"matrix size            : {n} x {n}")
     print(f"tree levels            : {hodlr.tree.levels}")
     print(f"off-diagonal ranks     : {hodlr.rank_profile()}")
     print(f"HODLR memory           : {hodlr.nbytes / 1e6:.1f} MB "
           f"(dense would be {8 * n * n / 1e6:.1f} MB)")
+    print(f"factorization time     : {result.stats.factor_seconds:.3f} s (Python/NumPy)")
+    print(f"solve time             : {result.stats.last_solve_seconds:.4f} s "
+          f"({result.stats.num_solves} solve so far)")
+    print(f"relative residual      : {result.relative_residual:.2e}")
 
-    # 3. factorization with the batched GPU schedule (Algorithm 3)
-    solver = HODLRSolver(hodlr, variant="batched").factorize()
-    print(f"factorization time     : {solver.stats.factor_seconds:.3f} s (Python/NumPy)")
+    # 4: the operator is reusable — determinants, more solves, preconditioning
+    print(f"log-determinant        : {result.operator.logdet():.6e}")
 
-    # 4. solve a random right-hand side and verify
-    b = rng.standard_normal(n)
-    x = solver.solve(b, compute_residual=True)
-    print(f"solve time             : {solver.stats.solve_seconds:.4f} s")
-    print(f"relative residual      : {solver.stats.relative_residual:.2e}")
-    print(f"log-determinant        : {solver.logdet():.6e}")
-
-    # 5. what would this have cost on the paper's V100?
-    estimates = solver.modeled_times(PerformanceModel())
+    # what would this have cost on the paper's V100?
+    estimates = result.operator.modeled_times(PerformanceModel())
     fac = estimates["factorization"]
     sol = estimates["solution"]
     print(f"modeled V100 factor    : {fac.total_time * 1e3:.2f} ms "

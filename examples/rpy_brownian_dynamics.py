@@ -7,52 +7,44 @@ dynamics time step needs (a) solutions of mobility systems ``M f = u`` and
 (b) correlated random displacements with covariance ``M`` — both of which
 the HODLR machinery provides in near-linear time.
 
-This example mirrors the paper's Table III benchmark at a small scale:
+This example mirrors the paper's Table III benchmark at a small scale,
+driven entirely through the ``repro.api`` facade: the registered
+``"rpy_mobility"`` problem assembles the kd-tree-ordered ``3N x 3N``
+mobility matrix, ``repro.solve`` runs the batched (GPU-schedule) direct
+solve, and the returned operator is compared against the HODLRlib-style
+CPU baseline.  Correlated Brownian displacements come from the symmetric
+factorization ``M = W W^T``.
 
-* random particles in ``[-1, 1]^3`` with the paper's parameterisation
-  (``k = T = eta = 1``, ``a = r_min / 2``),
-* kd-tree ordering of the particles, HODLR compression of the ``3N x 3N``
-  mobility matrix,
-* direct solve with the batched solver + comparison against the
-  HODLRlib-style CPU execution,
-* correlated Brownian displacements through the symmetric factorization
-  ``M = W W^T``.
-
-Run with:  python examples/rpy_brownian_dynamics.py
+Run with:  python examples/rpy_brownian_dynamics.py   (REPRO_SMOKE=1 for a small run)
 """
+
+import os
 
 import numpy as np
 
-from repro import (
-    ClusterTree,
-    HODLRlibStyleSolver,
-    HODLRSolver,
-    RPYKernel,
-    SymmetricFactorization,
-    build_hodlr,
-)
-from repro.kernels.points import uniform_points
+import repro
+from repro import HODLRlibStyleSolver, SymmetricFactorization
+from repro.api import CompressionConfig, SolverConfig
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def main() -> None:
+def main(smoke: bool = SMOKE) -> None:
     rng = np.random.default_rng(1)
 
-    # --- the suspension -----------------------------------------------------
-    num_particles = 400
-    points = uniform_points(num_particles, dim=3, rng=rng)
-    kernel = RPYKernel()              # k = T = eta = 1, a = r_min / 2
-    a = kernel.effective_radius(points)
-    print(f"particles              : {num_particles}  (DOFs: {3 * num_particles})")
+    # --- the suspension, assembled and solved through the facade -------------
+    num_particles = 150 if smoke else 400
+    config = SolverConfig(
+        compression=CompressionConfig(tol=1e-6, method="svd", leaf_size=96)
+    )
+    problem = repro.get_problem("rpy_mobility", num_particles=num_particles).assemble(config)
+    n_dof = problem.n
+    a = problem.metadata["effective_radius"]
+    print(f"particles              : {num_particles}  (DOFs: {n_dof})")
     print(f"hydrodynamic radius a  : {a:.4e}")
 
-    # --- ordering and compression --------------------------------------------
-    # order particles with a kd-tree; the 3 components of each particle stay together
-    _, particle_perm = ClusterTree.from_points(points, leaf_size=32)
-    points = points[particle_perm]
-    n_dof = 3 * num_particles
-    tree = ClusterTree.balanced(n_dof, leaf_size=96)
-    hodlr = build_hodlr(kernel.evaluator(points), tree, tol=1e-6, method="svd")
-    print(f"tree levels            : {tree.levels}")
+    hodlr = problem.hodlr
+    print(f"tree levels            : {hodlr.tree.levels}")
     print(f"off-diagonal ranks     : {hodlr.rank_profile()}")
     print(f"HODLR memory           : {hodlr.nbytes / 1e6:.1f} MB "
           f"(dense: {8 * n_dof ** 2 / 1e6:.1f} MB)")
@@ -61,9 +53,9 @@ def main() -> None:
 
     # --- mobility solve: forces from prescribed velocities --------------------
     velocities = rng.standard_normal(n_dof)
-    gpu_solver = HODLRSolver(hodlr, variant="batched").factorize()
-    forces = gpu_solver.solve(velocities, compute_residual=True)
-    print(f"batched solver residual: {gpu_solver.stats.relative_residual:.2e}")
+    result = repro.solve(problem, velocities, config=config, compute_residual="exact")
+    forces = result.x
+    print(f"batched solver residual: {result.relative_residual:.2e}  (vs the exact RPY matrix)")
 
     cpu_solver = HODLRlibStyleSolver(hodlr=hodlr).factorize()
     forces_cpu = cpu_solver.solve(velocities)

@@ -20,20 +20,30 @@ testbed (see DESIGN.md for the substitution rationale).
 
 Quick start
 -----------
+The public entry point is the operator-centric facade in :mod:`repro.api`:
+``repro.solve`` accepts a registered problem name, a ``Problem`` object, a
+prebuilt ``HODLRMatrix``, or a dense array, and runs it under an immutable
+``SolverConfig``.
+
 >>> import numpy as np
->>> from repro import ClusterTree, build_hodlr, HODLRSolver
+>>> import repro
+>>> from repro.api import CompressionConfig, SolverConfig
 >>> rng = np.random.default_rng(0)
 >>> # a small synthetic HODLR-compressible matrix
 >>> n = 512
 >>> x = np.sort(rng.uniform(0, 1, n))
 >>> A = 1.0 / (1.0 + 50.0 * np.abs(x[:, None] - x[None, :])) + n * np.eye(n)
->>> tree = ClusterTree.balanced(n, leaf_size=64)
->>> H = build_hodlr(A, tree, tol=1e-10, method="svd")
->>> solver = HODLRSolver(H, variant="batched").factorize()
 >>> b = rng.standard_normal(n)
->>> xsol = solver.solve(b)
->>> float(np.linalg.norm(A @ xsol - b) / np.linalg.norm(b)) < 1e-8
+>>> cfg = SolverConfig(compression=CompressionConfig(tol=1e-10, method="svd"))
+>>> result = repro.solve(A, b, config=cfg)
+>>> float(np.linalg.norm(A @ result.x - b) / np.linalg.norm(b)) < 1e-8
 True
+
+Registered scenarios are one call away —
+``repro.solve("helmholtz_bie", config=cfg, n=4096, kappa=25.0)`` — and
+``repro.build_operator`` returns the lazy ``HODLROperator`` (a SciPy
+``LinearOperator`` with ``solve``, ``logdet``, and ``as_preconditioner()``)
+when the factorization itself is the object of interest.
 """
 
 from .core.cluster_tree import ClusterTree, TreeNode
@@ -89,9 +99,42 @@ from .elliptic.grid import RegularGrid2D
 from .elliptic.poisson import assemble_poisson_2d, poisson_manufactured_solution
 from .elliptic.schur import SchurComplementSolver
 
+from . import api
+from .api import (
+    AssembledProblem,
+    HODLRInverseOperator,
+    HODLROperator,
+    Problem,
+    ProblemNotFoundError,
+    SolveResult,
+    SolverConfig,
+    available_problems,
+    build_operator,
+    get_problem,
+    register_problem,
+    solve,
+)
+from .api.krylov import cg_solve, gmres_solve
+
 __version__ = "1.0.0"
 
 __all__ = [
+    # unified API (repro.api)
+    "api",
+    "solve",
+    "build_operator",
+    "SolverConfig",
+    "SolveResult",
+    "HODLROperator",
+    "HODLRInverseOperator",
+    "Problem",
+    "AssembledProblem",
+    "ProblemNotFoundError",
+    "register_problem",
+    "get_problem",
+    "available_problems",
+    "gmres_solve",
+    "cg_solve",
     # core
     "ClusterTree",
     "TreeNode",

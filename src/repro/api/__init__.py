@@ -1,0 +1,66 @@
+"""repro.api — the unified, operator-centric public API.
+
+One stable front door over the whole library:
+
+* :func:`solve` / :func:`build_operator` — run any registered scenario (or
+  any matrix-like input) under an immutable :class:`SolverConfig`;
+* :class:`Problem` / :func:`register_problem` / :func:`get_problem` — the
+  named problem registry (kernel matrices, RPY, Laplace/Helmholtz BIE, GP
+  covariance, elliptic Schur complements ship built in);
+* :class:`HODLROperator` — the HODLR factorization as a SciPy
+  ``LinearOperator`` with lazy factorization, ``solve``, ``logdet``, and
+  ``as_preconditioner()`` for Krylov methods;
+* :func:`gmres_solve` / :func:`cg_solve` — Krylov drivers accepting HODLR
+  operators and preconditioners directly.
+
+>>> import repro
+>>> from repro.api import CompressionConfig, SolverConfig
+>>> cfg = SolverConfig(compression=CompressionConfig(tol=1e-8, method="rook"))
+>>> result = repro.solve("gaussian_kernel", config=cfg, n=512)   # doctest: +SKIP
+"""
+
+from .config import (
+    COMPRESSION_METHODS,
+    VARIANTS,
+    CompressionConfig,
+    ConfigError,
+    SolverConfig,
+)
+from .problem import (
+    AssembledProblem,
+    Problem,
+    ProblemNotFoundError,
+    available_problems,
+    get_problem,
+    register_problem,
+    unregister_problem,
+)
+from .operator import HODLRInverseOperator, HODLROperator
+from .krylov import IterationLog, as_preconditioner, cg_solve, gmres_solve
+from . import problems  # noqa: F401  (registers the built-in problem adapters)
+from .facade import SolveResult, assemble, build_operator, solve
+
+__all__ = [
+    "COMPRESSION_METHODS",
+    "VARIANTS",
+    "CompressionConfig",
+    "ConfigError",
+    "SolverConfig",
+    "AssembledProblem",
+    "Problem",
+    "ProblemNotFoundError",
+    "available_problems",
+    "get_problem",
+    "register_problem",
+    "unregister_problem",
+    "HODLRInverseOperator",
+    "HODLROperator",
+    "IterationLog",
+    "as_preconditioner",
+    "cg_solve",
+    "gmres_solve",
+    "SolveResult",
+    "assemble",
+    "build_operator",
+    "solve",
+]

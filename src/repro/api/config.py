@@ -1,0 +1,279 @@
+"""Immutable, serialisable configuration objects for the :mod:`repro.api` facade.
+
+Two frozen dataclasses describe everything a solve needs beyond the problem
+itself:
+
+:class:`CompressionConfig`
+    How the HODLR approximation is built — tolerance, compression method
+    (``svd`` / ``rook`` / ``randomized`` / ``proxy``), rank cap, leaf size,
+    and the proxy-circle resolution for BIE operators.
+
+:class:`SolverConfig`
+    How the factorization runs — variant (``recursive`` / ``flat`` /
+    ``batched``), array backend, dispatch policy, storage dtype, pivoting,
+    and the stream cutoff — plus a nested :class:`CompressionConfig`.
+
+Both validate on construction, are hashable (usable as sweep keys), and
+round-trip losslessly through ``to_dict``/``from_dict`` so a parameter
+sweep can be serialised to JSON and replayed bit-for-bit:
+
+>>> from repro.api import SolverConfig
+>>> cfg = SolverConfig(variant="flat", dtype="float32")
+>>> SolverConfig.from_dict(cfg.to_dict()) == cfg
+True
+
+Note the distinction from :class:`repro.core.compression.CompressionConfig`:
+the core object is the low-level knob set of :func:`repro.core.build_hodlr`
+(it can carry a live random generator and is therefore not serialisable);
+the API object here is the stable, immutable front-door configuration that
+*converts* to the core object via :meth:`CompressionConfig.core_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..backends.dispatch import DispatchPolicy
+from ..bie.proxy import ProxyCompressionConfig
+from ..core.compression import CompressionConfig as CoreCompressionConfig
+
+#: compression methods the facade accepts (``proxy`` needs a BIE-style operator)
+COMPRESSION_METHODS = ("svd", "rook", "randomized", "proxy")
+
+#: factorization variants (mirrors ``repro.core.solver._VARIANTS``)
+VARIANTS = ("recursive", "flat", "batched")
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration value fails validation."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Immutable options for building the HODLR approximation.
+
+    Parameters
+    ----------
+    tol:
+        Relative tolerance of the low-rank approximation (the paper uses
+        ~1e-12/1e-8 for the direct solvers and ~1e-4 for preconditioners).
+    method:
+        ``"svd"``, ``"rook"``, ``"randomized"``, or ``"proxy"`` (the latter
+        only for operators implementing the proxy-surface protocol).
+    max_rank:
+        Hard cap on off-diagonal ranks (``None`` = uncapped).
+    leaf_size:
+        Cluster-tree leaf size.
+    oversampling:
+        Extra samples for the randomized range finder.
+    n_proxy:
+        Points per proxy circle (``method="proxy"`` only).
+    """
+
+    tol: float = 1e-10
+    method: str = "rook"
+    max_rank: Optional[int] = None
+    leaf_size: int = 64
+    oversampling: int = 10
+    n_proxy: int = 64
+
+    def __post_init__(self) -> None:
+        _check(
+            isinstance(self.tol, (int, float)) and 0.0 < float(self.tol) < 1.0,
+            f"tol must be in (0, 1), got {self.tol!r}",
+        )
+        _check(
+            self.method in COMPRESSION_METHODS,
+            f"method must be one of {COMPRESSION_METHODS}, got {self.method!r}",
+        )
+        _check(
+            self.max_rank is None or (isinstance(self.max_rank, int) and self.max_rank >= 1),
+            f"max_rank must be None or a positive int, got {self.max_rank!r}",
+        )
+        _check(
+            isinstance(self.leaf_size, int) and self.leaf_size >= 2,
+            f"leaf_size must be an int >= 2, got {self.leaf_size!r}",
+        )
+        _check(
+            isinstance(self.oversampling, int) and self.oversampling >= 0,
+            f"oversampling must be a non-negative int, got {self.oversampling!r}",
+        )
+        _check(
+            isinstance(self.n_proxy, int) and self.n_proxy >= 4,
+            f"n_proxy must be an int >= 4, got {self.n_proxy!r}",
+        )
+
+    # -- conversion to the low-level configs ---------------------------------
+    def core_config(self, rng: Optional[np.random.Generator] = None) -> CoreCompressionConfig:
+        """The :func:`repro.core.build_hodlr` options equivalent to this config.
+
+        ``method="proxy"`` maps to ``"rook"`` here because proxy compression
+        is not an entrywise method; use :meth:`proxy_config` for it.
+        """
+        return CoreCompressionConfig(
+            tol=float(self.tol),
+            max_rank=self.max_rank,
+            method=self.method if self.method != "proxy" else "rook",
+            oversampling=self.oversampling,
+            rng=rng,
+        )
+
+    def proxy_config(self) -> ProxyCompressionConfig:
+        """The :func:`repro.bie.proxy.build_hodlr_proxy` options for this config."""
+        return ProxyCompressionConfig(
+            tol=float(self.tol), n_proxy=self.n_proxy, max_rank=self.max_rank
+        )
+
+    # -- immutability helpers ------------------------------------------------
+    def replace(self, **changes: Any) -> "CompressionConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompressionConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys raise)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        _check(not unknown, f"unknown CompressionConfig keys: {unknown}")
+        return cls(**dict(data))
+
+
+def _normalize_dtype(dtype: Any) -> Optional[str]:
+    """Canonical dtype name (``"float32"``, ``"complex128"``, ...) or ``None``."""
+    if dtype is None:
+        return None
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise ConfigError(f"dtype {dtype!r} is not understood by numpy") from exc
+    _check(dt.kind in "fc", f"dtype must be floating or complex, got {dt.name!r}")
+    return dt.name
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Immutable description of one solver setup.
+
+    Parameters
+    ----------
+    variant:
+        ``"recursive"``, ``"flat"``, or ``"batched"`` (default).
+    backend:
+        Name of a registered :class:`~repro.backends.dispatch.ArrayBackend`
+        (``"numpy"``, ``"cupy"``, or anything added via
+        :func:`repro.register_backend`).  Stored by name so configs stay
+        serialisable; the instance is resolved at factorization time.
+    dispatch_policy:
+        Shape-bucketing policy for the batched primitives (``None`` = the
+        default policy).  Accepts a :class:`DispatchPolicy` or its dict form.
+    dtype:
+        Storage/factorization dtype override as a dtype name (``"float32"``
+        reproduces the paper's single-precision runs); ``None`` keeps the
+        problem's natural dtype.  NumPy dtype objects are normalised to
+        their canonical name.
+    pivot:
+        Partial pivoting in the reduced ``K`` systems (batched variant).
+    stream_cutoff:
+        Node-count threshold below which the batched variant dispatches on
+        emulated CUDA streams.
+    compression:
+        Nested :class:`CompressionConfig` (accepts a dict form too).
+    """
+
+    variant: str = "batched"
+    backend: str = "numpy"
+    dispatch_policy: Optional[DispatchPolicy] = None
+    dtype: Optional[str] = None
+    pivot: bool = True
+    stream_cutoff: int = 4
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+
+    def __post_init__(self) -> None:
+        _check(
+            self.variant in VARIANTS,
+            f"variant must be one of {VARIANTS}, got {self.variant!r}",
+        )
+        _check(
+            isinstance(self.backend, str) and bool(self.backend),
+            f"backend must be a registered backend name, got {self.backend!r}",
+        )
+        if isinstance(self.dispatch_policy, Mapping):
+            object.__setattr__(self, "dispatch_policy", DispatchPolicy(**self.dispatch_policy))
+        _check(
+            self.dispatch_policy is None or isinstance(self.dispatch_policy, DispatchPolicy),
+            f"dispatch_policy must be a DispatchPolicy or None, got {self.dispatch_policy!r}",
+        )
+        object.__setattr__(self, "dtype", _normalize_dtype(self.dtype))
+        _check(isinstance(self.pivot, bool), f"pivot must be a bool, got {self.pivot!r}")
+        _check(
+            isinstance(self.stream_cutoff, int) and self.stream_cutoff >= 0,
+            f"stream_cutoff must be a non-negative int, got {self.stream_cutoff!r}",
+        )
+        if isinstance(self.compression, Mapping):
+            object.__setattr__(
+                self, "compression", CompressionConfig.from_dict(self.compression)
+            )
+        _check(
+            isinstance(self.compression, CompressionConfig),
+            f"compression must be a CompressionConfig, got {self.compression!r}",
+        )
+
+    @property
+    def numpy_dtype(self) -> Optional[np.dtype]:
+        """The dtype override as a ``np.dtype`` (or ``None``)."""
+        return None if self.dtype is None else np.dtype(self.dtype)
+
+    # -- immutability helpers ------------------------------------------------
+    def replace(self, **changes: Any) -> "SolverConfig":
+        """A copy with the given fields replaced (validation re-runs).
+
+        Compression fields can be replaced directly for convenience:
+        ``cfg.replace(tol=1e-4)`` is ``cfg.replace(compression=cfg.compression.replace(tol=1e-4))``.
+        """
+        solver_fields = {f.name for f in fields(self)}
+        compression_fields = {f.name for f in fields(CompressionConfig)}
+        nested = {k: v for k, v in changes.items() if k in compression_fields - solver_fields}
+        direct = {k: v for k, v in changes.items() if k not in nested}
+        unknown = sorted(set(direct) - solver_fields)
+        _check(not unknown, f"unknown SolverConfig fields: {unknown}")
+        if nested:
+            _check(
+                "compression" not in direct,
+                f"cannot combine compression= with compression fields {sorted(nested)}",
+            )
+            direct["compression"] = self.compression.replace(**nested)
+        return replace(self, **direct)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "variant": self.variant,
+            "backend": self.backend,
+            "dispatch_policy": None
+            if self.dispatch_policy is None
+            else asdict(self.dispatch_policy),
+            "dtype": self.dtype,
+            "pivot": self.pivot,
+            "stream_cutoff": self.stream_cutoff,
+            "compression": self.compression.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolverConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys raise)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        _check(not unknown, f"unknown SolverConfig keys: {unknown}")
+        return cls(**dict(data))

@@ -1,0 +1,231 @@
+"""The front door: ``repro.solve`` and ``repro.build_operator``.
+
+One call covers every scenario and every solver configuration::
+
+    import repro
+    result = repro.solve("helmholtz_bie", config=cfg, n=4096, kappa=25.0)
+    result = repro.solve(my_problem)              # any Problem instance
+    result = repro.solve(hodlr_matrix, b)         # a prebuilt HODLRMatrix
+    result = repro.solve(dense_array, b)          # a dense matrix
+
+``problem`` may be:
+
+* a registered problem name (see :func:`repro.available_problems`), with
+  constructor parameters passed as keyword arguments;
+* a :class:`~repro.api.problem.Problem` instance;
+* an already-assembled :class:`~repro.api.problem.AssembledProblem`
+  (assemble once, solve under many configs);
+* a :class:`~repro.core.hodlr.HODLRMatrix`;
+* a :class:`~repro.kernels.kernel_matrix.KernelMatrix`;
+* a square dense ``numpy.ndarray`` (compressed on the fly).
+
+:func:`build_operator` performs the same resolution but stops at the
+:class:`~repro.api.operator.HODLROperator`, for workflows that need the
+operator itself (Krylov preconditioning, log-determinants, repeated
+solves) rather than one solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+from ..core.cluster_tree import ClusterTree
+from ..core.hodlr import HODLRMatrix, build_hodlr
+from ..core.solver import SolveStats
+from ..kernels.kernel_matrix import KernelMatrix
+from .config import ConfigError, SolverConfig
+from .operator import HODLROperator
+from .problem import AssembledProblem, Problem, get_problem
+from .problems import _kernel_assembled
+
+ProblemLike = Union[str, Problem, AssembledProblem, HODLRMatrix, KernelMatrix, np.ndarray]
+
+
+@dataclass
+class SolveResult:
+    """Everything :func:`solve` produced.
+
+    Attributes
+    ----------
+    x:
+        The solution (same leading shape as the right-hand side).
+    operator:
+        The factorized :class:`HODLROperator` — reusable for further
+        solves, determinants, or as a Krylov preconditioner.
+    problem:
+        The :class:`AssembledProblem` that was solved (geometry and
+        scenario data live in ``problem.metadata``).
+    config:
+        The :class:`SolverConfig` used.
+    relative_residual:
+        ``||b - A x|| / ||b||`` — by default against the HODLR matvec;
+        against the exact operator when ``compute_residual="exact"`` was
+        requested and the problem provides one; ``None`` when residual
+        computation was disabled.
+    """
+
+    x: np.ndarray
+    operator: HODLROperator
+    problem: AssembledProblem
+    config: SolverConfig
+    relative_residual: Optional[float] = None
+
+    @property
+    def stats(self) -> SolveStats:
+        """Timings/diagnostics of the underlying solver."""
+        return self.operator.stats
+
+
+def _coerce_config(config: Optional[Union[SolverConfig, Mapping]]) -> SolverConfig:
+    if config is None:
+        return SolverConfig()
+    if isinstance(config, SolverConfig):
+        return config
+    if isinstance(config, Mapping):
+        return SolverConfig.from_dict(config)
+    raise ConfigError(f"config must be a SolverConfig, a dict, or None, got {config!r}")
+
+
+def assemble(
+    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
+) -> AssembledProblem:
+    """Resolve any accepted ``problem`` spelling to an :class:`AssembledProblem`."""
+    config = _coerce_config(config)
+    comp = config.compression
+    if isinstance(problem, str):
+        problem = get_problem(problem, **problem_params)
+    elif problem_params:
+        raise TypeError(
+            "problem parameters are only accepted together with a registered "
+            f"problem name, got problem={type(problem).__name__} with "
+            f"params {sorted(problem_params)}"
+        )
+    if isinstance(problem, AssembledProblem):
+        return problem
+    if isinstance(problem, HODLRMatrix):
+        return AssembledProblem(name="hodlr", hodlr=problem)
+    if isinstance(problem, KernelMatrix):
+        return _kernel_assembled(
+            "kernel_matrix", problem, config, rhs=None, reorder=True, metadata={}
+        )
+    if isinstance(problem, np.ndarray):
+        A = problem
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise ValueError(f"dense input must be a square 2-D array, got shape {A.shape}")
+        if comp.method == "proxy":
+            raise ConfigError("method='proxy' needs a BIE operator, not a dense matrix")
+        tree = ClusterTree.balanced(A.shape[0], leaf_size=comp.leaf_size)
+        hodlr = build_hodlr(A, tree, config=comp.core_config())
+        return AssembledProblem(
+            name="dense", hodlr=hodlr, operator=lambda x, _A=A: _A @ x
+        )
+    if isinstance(problem, Problem):
+        return problem.assemble(config)
+    raise TypeError(
+        f"cannot interpret {type(problem).__name__!r} as a problem: expected a "
+        "registered name, a Problem, an AssembledProblem, an HODLRMatrix, a "
+        "KernelMatrix, or a square ndarray"
+    )
+
+
+def _operator_for(assembled: AssembledProblem, config: SolverConfig) -> HODLROperator:
+    """The problem's shared operator if it matches ``config``, else a new one."""
+    shared = assembled.solver_operator
+    if (
+        isinstance(shared, HODLROperator)
+        and shared.config == config
+        and (
+            (shared.perm is None and assembled.perm is None)
+            or (
+                shared.perm is not None
+                and assembled.perm is not None
+                and np.array_equal(shared.perm, assembled.perm)
+            )
+        )
+    ):
+        return shared
+    return HODLROperator(assembled.hodlr, config, perm=assembled.perm)
+
+
+def build_operator(
+    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
+) -> HODLROperator:
+    """Assemble ``problem`` and wrap it as a lazy :class:`HODLROperator`.
+
+    The operator acts in the *caller's* ordering: any internal cluster-tree
+    permutation of the problem is carried on the operator and conjugated
+    away on every matvec/solve.
+    """
+    config = _coerce_config(config)
+    assembled = assemble(problem, config, **problem_params)
+    return _operator_for(assembled, config)
+
+
+def solve(
+    problem: ProblemLike,
+    b: Optional[np.ndarray] = None,
+    config: Optional[SolverConfig] = None,
+    *,
+    compute_residual: Union[bool, str] = True,
+    **problem_params: Any,
+) -> SolveResult:
+    """Assemble, factorize, and solve ``problem`` under ``config``.
+
+    ``b`` defaults to the problem's natural right-hand side (boundary data,
+    training targets, ...) when it provides one.  Both ``b`` and the
+    returned solution are in the *caller's* ordering; any internal
+    cluster-tree permutation (``AssembledProblem.perm``) is applied on the
+    way in and inverted on the way out.
+
+    ``compute_residual`` controls the reported relative residual:
+    ``True`` (default) measures against the HODLR matvec — an O(N log N)
+    check of the factorization; ``"exact"`` measures against the problem's
+    exact operator — an O(N^2) end-to-end check including the compression
+    error (raises if the problem provides no exact operator); ``False``
+    skips it.
+
+    Returns a :class:`SolveResult`; the factorized operator inside it acts
+    in the caller's ordering too and can be reused for more solves without
+    re-assembly.
+    """
+    if compute_residual not in (True, False, "exact"):
+        raise ValueError(
+            f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
+        )
+    config = _coerce_config(config)
+    assembled = assemble(problem, config, **problem_params)
+    if compute_residual == "exact" and assembled.operator is None:
+        raise ValueError(
+            f"problem {assembled.name!r} provides no exact operator; "
+            "compute_residual='exact' is unavailable (use True for the HODLR residual)"
+        )
+    operator = _operator_for(assembled, config)
+    if b is None:
+        b = assembled.rhs
+        if b is None:
+            raise ValueError(
+                f"problem {assembled.name!r} provides no natural right-hand side; "
+                "pass b explicitly"
+            )
+    b = np.asarray(b)
+    x = operator.solve(b)
+    relres: Optional[float] = None
+    if compute_residual:
+        if compute_residual == "exact":
+            r = b - np.asarray(assembled.operator(x))
+        else:
+            # HODLR residual via the perm-aware operator: no O(N^2) work
+            r = b - (operator @ x)
+        denom = float(np.linalg.norm(b))
+        relres = float(np.linalg.norm(r)) / denom if denom > 0 else float(np.linalg.norm(r))
+        operator.solver.stats.relative_residual = relres
+    return SolveResult(
+        x=x,
+        operator=operator,
+        problem=assembled,
+        config=config,
+        relative_residual=relres,
+    )

@@ -1,0 +1,148 @@
+"""Krylov solves with HODLR operators and preconditioners.
+
+Thin wrappers around ``scipy.sparse.linalg.gmres``/``cg`` that accept any
+of the facade's operator spellings — a dense matrix, an
+:class:`~repro.core.hodlr.HODLRMatrix`, an
+:class:`~repro.api.operator.HODLROperator`, a SciPy ``LinearOperator``, or
+a bare matvec callable — and record the residual history, which is the
+quantity of interest when comparing preconditioner quality (paper,
+section IV-C).
+
+The ``preconditioner`` argument takes an :class:`HODLROperator` (its
+*inverse* action is used automatically), an
+:class:`~repro.api.operator.HODLRInverseOperator`, a factorized
+:class:`~repro.core.solver.HODLRSolver`, or any ``LinearOperator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, cg, gmres
+
+from ..core.hodlr import HODLRMatrix
+from ..core.solver import HODLRSolver
+from .operator import HODLRInverseOperator, HODLROperator
+
+OperatorLike = Union[
+    np.ndarray, HODLRMatrix, LinearOperator, Callable[[np.ndarray], np.ndarray]
+]
+PreconditionerLike = Optional[Union[HODLROperator, HODLRSolver, LinearOperator]]
+
+
+@dataclass
+class IterationLog:
+    """Iteration count and (optional) residual history of a Krylov run.
+
+    GMRES records the preconditioned residual norms SciPy hands to the
+    callback for free; CG only counts iterations unless residual recording
+    was requested (each recorded CG residual costs one extra matvec).
+    """
+
+    residuals: List[float]
+    count: int = 0
+
+    @property
+    def iterations(self) -> int:
+        return self.count if self.count > 0 else len(self.residuals)
+
+
+def _as_matvec(operator: OperatorLike, n: int) -> Callable[[np.ndarray], np.ndarray]:
+    if isinstance(operator, np.ndarray):
+        return lambda x: operator @ x
+    if isinstance(operator, HODLRMatrix):
+        return operator.matvec
+    if isinstance(operator, LinearOperator):
+        return operator.matvec
+    if callable(operator):
+        return operator
+    raise TypeError(f"cannot interpret {type(operator)!r} as a linear operator")
+
+
+def as_preconditioner(M: PreconditionerLike) -> Optional[LinearOperator]:
+    """Coerce the accepted preconditioner spellings to a ``LinearOperator``."""
+    if M is None:
+        return None
+    if isinstance(M, HODLROperator):
+        return M.as_preconditioner()
+    if isinstance(M, HODLRSolver):
+        if not M.factored:
+            M.factorize()
+        return HODLRInverseOperator(M)
+    if isinstance(M, LinearOperator):
+        return M
+    raise TypeError(f"cannot interpret {type(M)!r} as a preconditioner")
+
+
+def gmres_solve(
+    operator: OperatorLike,
+    b: np.ndarray,
+    preconditioner: PreconditionerLike = None,
+    tol: float = 1e-10,
+    maxiter: int = 500,
+    restart: int = 50,
+) -> Tuple[np.ndarray, int, IterationLog]:
+    """Run (preconditioned) GMRES; returns ``(x, info, iteration_log)``."""
+    b = np.asarray(b)
+    n = b.shape[0]
+    matvec = _as_matvec(operator, n)
+    dtype = np.result_type(b.dtype, np.asarray(matvec(np.zeros(n, dtype=b.dtype))).dtype)
+    A = LinearOperator((n, n), matvec=matvec, dtype=dtype)
+    log = IterationLog(residuals=[])
+
+    def callback(rk):
+        # scipy passes either the residual norm (legacy) or the residual vector
+        log.residuals.append(float(np.linalg.norm(rk)) if np.ndim(rk) else float(rk))
+
+    x, info = gmres(
+        A,
+        b,
+        rtol=tol,
+        atol=0.0,
+        maxiter=maxiter,
+        restart=restart,
+        M=as_preconditioner(preconditioner),
+        callback=callback,
+        callback_type="pr_norm",
+    )
+    return x, int(info), log
+
+
+def cg_solve(
+    operator: OperatorLike,
+    b: np.ndarray,
+    preconditioner: PreconditionerLike = None,
+    tol: float = 1e-10,
+    maxiter: int = 500,
+    record_residuals: bool = False,
+) -> Tuple[np.ndarray, int, IterationLog]:
+    """Run (preconditioned) CG for SPD operators; returns ``(x, info, log)``.
+
+    SciPy's CG callback only provides the iterate, so computing a residual
+    means one extra operator application per iteration —
+    ``record_residuals=True`` opts into that; by default the log carries
+    the iteration count only.
+    """
+    b = np.asarray(b)
+    n = b.shape[0]
+    matvec = _as_matvec(operator, n)
+    A = LinearOperator((n, n), matvec=matvec, dtype=b.dtype)
+    log = IterationLog(residuals=[])
+
+    def callback(xk):
+        log.count += 1
+        if record_residuals:
+            log.residuals.append(float(np.linalg.norm(b - A.matvec(xk))))
+
+    x, info = cg(
+        A,
+        b,
+        rtol=tol,
+        atol=0.0,
+        maxiter=maxiter,
+        M=as_preconditioner(preconditioner),
+        callback=callback,
+    )
+    return x, int(info), log

@@ -1,0 +1,276 @@
+"""The HODLR factorization as a SciPy ``LinearOperator``.
+
+:class:`HODLROperator` is the facade's runtime object: it wraps a
+:class:`~repro.core.hodlr.HODLRMatrix` together with a
+:class:`~repro.api.config.SolverConfig` and exposes
+
+* ``A @ x`` / ``matvec`` — the (approximate) forward operator, so it plugs
+  directly into ``scipy.sparse.linalg.gmres``/``cg``/``eigsh`` as the
+  system operator;
+* ``solve(b)`` — the fast direct solve through the configured
+  factorization variant, factorizing lazily on first use;
+* ``as_preconditioner()`` / ``.inv`` — the *inverse* as a
+  ``LinearOperator`` (:class:`HODLRInverseOperator`), the paper's "robust
+  preconditioner" usage: pass it as ``M=`` to a Krylov method;
+* ``logdet`` / ``slogdet`` — determinants from the triangular factors
+  (GP marginal likelihoods);
+* kernel traces and modeled device times for the batched variant.
+
+The factorization is cached and invalidated on dtype changes: solving with
+a complex right-hand side on a real factorization transparently
+refactorizes at the promoted dtype, and :meth:`astype` returns an operator
+that refactorizes at the requested precision on first solve (the paper's
+float32 preconditioner runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator
+
+from ..backends.counters import KernelTrace
+from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
+from ..core.hodlr import HODLRMatrix
+from ..core.solver import HODLRSolver, SolveStats
+from .config import SolverConfig
+
+
+class HODLROperator(LinearOperator):
+    """A HODLR matrix + solver config behaving like a SciPy ``LinearOperator``.
+
+    Parameters
+    ----------
+    hodlr:
+        The HODLR approximation of the coefficient matrix.
+    config:
+        A :class:`SolverConfig` (or its dict form); ``None`` uses defaults.
+    perm:
+        Optional permutation mapping the caller's ordering to the internal
+        (cluster-tree) ordering of ``hodlr`` (i.e. ``hodlr`` approximates
+        ``A[perm][:, perm]``).  When set, every matvec/solve permutes
+        inputs in and solutions back out, so the operator acts entirely in
+        the caller's ordering.
+    **overrides:
+        Individual :class:`SolverConfig` fields overriding ``config``,
+        e.g. ``HODLROperator(H, variant="flat", dtype="float32")``.
+    """
+
+    def __init__(
+        self,
+        hodlr: HODLRMatrix,
+        config: Optional[SolverConfig] = None,
+        perm: Optional[np.ndarray] = None,
+        **overrides: Any,
+    ) -> None:
+        if config is None:
+            config = SolverConfig()
+        elif isinstance(config, Mapping):
+            config = SolverConfig.from_dict(config)
+        if overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._base = hodlr
+        self._perm = None if perm is None else np.asarray(perm)
+        self._cast: Optional[HODLRMatrix] = None
+        self._solver: Optional[HODLRSolver] = None
+        self._factor_dtype = np.dtype(
+            config.dtype if config.dtype is not None else hodlr.dtype
+        )
+        super().__init__(dtype=self._factor_dtype, shape=(hodlr.n, hodlr.n))
+
+    # -- caller ordering <-> internal (cluster-tree) ordering ----------------
+    @property
+    def perm(self) -> Optional[np.ndarray]:
+        return self._perm
+
+    def _to_internal(self, v: np.ndarray) -> np.ndarray:
+        return v if self._perm is None else np.asarray(v)[self._perm]
+
+    def _to_caller(self, v: np.ndarray) -> np.ndarray:
+        if self._perm is None:
+            return v
+        out = np.empty_like(v)
+        out[self._perm] = v
+        return out
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def hodlr(self) -> HODLRMatrix:
+        """The HODLR matrix at the operator's current dtype."""
+        return self._current_hodlr()
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def factored(self) -> bool:
+        return self._solver is not None
+
+    def _current_hodlr(self) -> HODLRMatrix:
+        if self._solver is not None:
+            return self._solver.hodlr
+        if self._cast is None:
+            if np.dtype(self._base.dtype) == self._factor_dtype:
+                self._cast = self._base
+            else:
+                self._cast = self._base.astype(self._factor_dtype)
+        return self._cast
+
+    @property
+    def solver(self) -> HODLRSolver:
+        """The underlying :class:`HODLRSolver`, factorized on first access."""
+        if self._solver is None:
+            # the hodlr is already at the factorization dtype: skip the
+            # solver's own cast by passing dtype=None
+            self._solver = HODLRSolver.from_config(
+                self._current_hodlr(), self.config, dtype=None
+            ).factorize()
+            self._cast = None
+        return self._solver
+
+    def factorize(self) -> "HODLROperator":
+        """Factorize eagerly (otherwise the first ``solve`` does it)."""
+        _ = self.solver
+        return self
+
+    def _invalidate(self, dtype: np.dtype) -> None:
+        self._factor_dtype = np.dtype(dtype)
+        self._solver = None
+        self._cast = None
+        self.dtype = self._factor_dtype
+
+    def astype(self, dtype: Any) -> "HODLROperator":
+        """A new operator at ``dtype`` (refactorizes lazily on first solve)."""
+        return HODLROperator(
+            self._base, self.config.replace(dtype=np.dtype(dtype).name), perm=self._perm
+        )
+
+    # ------------------------------------------------------------------
+    # LinearOperator interface: the forward operator A (caller ordering)
+    # ------------------------------------------------------------------
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        x_int = self._to_internal(np.asarray(x).ravel())
+        return self._to_caller(self._current_hodlr().matvec(x_int))
+
+    def _matmat(self, X: np.ndarray) -> np.ndarray:
+        X_int = self._to_internal(np.asarray(X))
+        return self._to_caller(self._current_hodlr().matvec(X_int))
+
+    # ------------------------------------------------------------------
+    # solve (the inverse action)
+    # ------------------------------------------------------------------
+    def _solve_dtype(self, b_dtype: np.dtype) -> np.dtype:
+        """The factorization dtype required for a right-hand side dtype.
+
+        An explicitly configured dtype is sticky (a float64 rhs does not
+        silently undo a requested float32 run); only a real-to-complex
+        promotion widens it.  Without a configured dtype, the factorization
+        follows NumPy promotion of (current dtype, rhs dtype).
+        """
+        configured = self.config.numpy_dtype
+        if configured is not None:
+            if np.issubdtype(b_dtype, np.complexfloating) and configured.kind == "f":
+                return np.result_type(configured, np.complex64)
+            return configured
+        return np.result_type(self._factor_dtype, b_dtype)
+
+    def solve(self, b: np.ndarray, compute_residual: bool = False) -> np.ndarray:
+        """Solve ``A x = b`` (multiple right-hand sides allowed).
+
+        ``b`` and the returned solution are in the caller's ordering (the
+        ``perm`` conjugation is applied internally).  If the dtype of ``b``
+        requires a different factorization dtype (e.g. complex rhs on a
+        real factorization), the operator refactorizes at the promoted
+        dtype first.
+        """
+        if self._perm is not None:
+            b = self._to_internal(b)
+        b_dtype = getattr(b, "dtype", None)
+        if b_dtype is None:
+            b = np.asarray(b)
+            b_dtype = b.dtype
+        target = self._solve_dtype(b_dtype)
+        if target != self._factor_dtype:
+            self._invalidate(target)
+        if b_dtype != target:
+            b = b.astype(target)
+        return self._to_caller(self.solver.solve(b, compute_residual=compute_residual))
+
+    def relative_residual(self, x: np.ndarray, b: np.ndarray) -> float:
+        """``||b - A x|| / ||b||`` with the HODLR matvec (the paper's relres)."""
+        return self.solver.relative_residual(self._to_internal(x), self._to_internal(b))
+
+    def as_preconditioner(self) -> "HODLRInverseOperator":
+        """The inverse as a ``LinearOperator`` (pass as ``M=`` to GMRES/CG)."""
+        return HODLRInverseOperator(self)
+
+    @property
+    def inv(self) -> "HODLRInverseOperator":
+        """Alias for :meth:`as_preconditioner`."""
+        return self.as_preconditioner()
+
+    # ------------------------------------------------------------------
+    # determinants
+    # ------------------------------------------------------------------
+    def slogdet(self) -> Tuple[complex, float]:
+        return self.solver.slogdet()
+
+    def logdet(self) -> float:
+        return self.solver.logdet()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SolveStats:
+        return self.solver.stats
+
+    @property
+    def memory_gb(self) -> float:
+        return self.solver.memory_gb
+
+    @property
+    def factor_trace(self) -> Optional[KernelTrace]:
+        return self.solver.factor_trace
+
+    @property
+    def last_solve_trace(self) -> Optional[KernelTrace]:
+        return self.solver.last_solve_trace
+
+    def modeled_times(
+        self, model: Optional[PerformanceModel] = None
+    ) -> Dict[str, ExecutionEstimate]:
+        return self.solver.modeled_times(model)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "factored" if self.factored else "lazy"
+        return (
+            f"HODLROperator(n={self.n}, variant={self.config.variant!r}, "
+            f"dtype={self._factor_dtype.name}, {state})"
+        )
+
+
+class HODLRInverseOperator(LinearOperator):
+    """``A^{-1}`` as a ``LinearOperator``: every matvec is a HODLR solve.
+
+    Wraps anything with ``solve(b)`` and a ``hodlr`` attribute — an
+    :class:`HODLROperator` or a bare :class:`~repro.core.solver.HODLRSolver`.
+    This is the object to pass as ``M=`` to ``scipy.sparse.linalg.gmres``.
+    """
+
+    def __init__(self, target: Any) -> None:
+        self.target = target
+        n = target.hodlr.n
+        dtype = np.dtype(getattr(target, "dtype", None) or target.hodlr.dtype)
+        super().__init__(dtype=dtype, shape=(n, n))
+
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.target.solve(np.asarray(x).ravel())
+
+    def _matmat(self, X: np.ndarray) -> np.ndarray:
+        return self.target.solve(np.asarray(X))

@@ -1,0 +1,165 @@
+"""The :class:`Problem` protocol and the named problem registry.
+
+A *problem* is anything that can assemble itself into a HODLR-compressed
+linear system under a :class:`~repro.api.config.SolverConfig`:
+
+>>> class MyProblem:
+...     name = "my_problem"
+...     def assemble(self, config):
+...         hodlr = ...                                   # build the HODLR matrix
+...         return AssembledProblem(name=self.name, hodlr=hodlr)
+
+Problems are registered under a name so scenarios can be requested by
+string — ``repro.solve("helmholtz_bie", ...)`` — the same way array
+backends are resolved by :func:`repro.backends.dispatch.get_backend`.  A
+registry entry is a *factory*: calling it with keyword parameters yields a
+problem instance, so one name covers a family of problem sizes
+(``get_problem("laplace_bie", n=8192)``).
+
+The built-in adapters wrapping the paper's workloads (kernel matrices,
+RPY hydrodynamics, Laplace/Helmholtz BIE, GP covariance, elliptic Schur
+complements) live in :mod:`repro.api.problems` and are registered on
+import of :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.hodlr import HODLRMatrix
+from .config import SolverConfig
+
+
+class ProblemNotFoundError(KeyError):
+    """Raised when a problem name is not in the registry."""
+
+
+@dataclass
+class AssembledProblem:
+    """The output of :meth:`Problem.assemble`: a ready-to-factorize system.
+
+    Attributes
+    ----------
+    name:
+        The problem's name (used in diagnostics and results).
+    hodlr:
+        The HODLR approximation of the coefficient matrix.
+    operator:
+        Optional *exact* matvec ``x -> A x`` of the underlying operator
+        (used for true residuals and as the Krylov operator when the HODLR
+        factorization serves as a preconditioner).  ``None`` means the
+        HODLR matvec is the best available operator.
+    rhs:
+        Optional natural right-hand side of the scenario (boundary data,
+        training targets, ...) used when :func:`repro.solve` is called
+        without an explicit ``b``.  Expressed in the *caller's* ordering
+        (``perm`` maps it into the internal one).
+    perm:
+        Optional permutation mapping the caller's ordering to the internal
+        (cluster-tree) ordering of ``hodlr``: the HODLR matrix approximates
+        ``A[perm][:, perm]``.  ``None`` means the orderings coincide.
+        :func:`repro.solve` applies it to incoming right-hand sides and
+        inverts it on solutions, so callers never see the internal order;
+        ``rhs`` and ``operator`` here are in the caller's ordering.
+    solver_operator:
+        Optional pre-constructed :class:`~repro.api.operator.HODLROperator`
+        over ``hodlr``.  Adapters that also hold the factorization
+        internally (e.g. the elliptic Schur solver) set this so the facade
+        reuses the same lazy operator instead of factorizing twice; the
+        facade only adopts it when its config matches the active one.
+    metadata:
+        Free-form scenario data (geometry objects, point sets, exact
+        solutions, ...).
+    """
+
+    name: str
+    hodlr: HODLRMatrix
+    operator: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    rhs: Optional[np.ndarray] = None
+    perm: Optional[np.ndarray] = None
+    solver_operator: Optional[Any] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.hodlr.n
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A x`` in the caller's ordering: the exact operator if available,
+        otherwise the HODLR matvec conjugated with ``perm``."""
+        if self.operator is not None:
+            return self.operator(x)
+        if self.perm is None:
+            return self.hodlr.matvec(x)
+        x = np.asarray(x)
+        y_int = self.hodlr.matvec(x[self.perm])
+        y = np.empty_like(y_int)
+        y[self.perm] = y_int
+        return y
+
+
+@runtime_checkable
+class Problem(Protocol):
+    """Anything that assembles into an :class:`AssembledProblem`."""
+
+    name: str
+
+    def assemble(self, config: SolverConfig) -> AssembledProblem: ...
+
+
+#: registered factories: ``factory(**params) -> Problem``
+_PROBLEM_FACTORIES: Dict[str, Callable[..., Problem]] = {}
+
+
+def register_problem(
+    name: str,
+    factory: Optional[Callable[..., Problem]] = None,
+    overwrite: bool = False,
+):
+    """Register a problem factory under ``name``.
+
+    ``factory`` may be a :class:`Problem` subclass or any callable returning
+    a problem; parameters passed to :func:`get_problem` are forwarded to it.
+    Usable as a decorator::
+
+        @register_problem("my_problem")
+        class MyProblem: ...
+
+    Registering an existing name raises unless ``overwrite=True``.
+    """
+    if factory is None:  # decorator form
+        def _decorator(f: Callable[..., Problem]) -> Callable[..., Problem]:
+            register_problem(name, f, overwrite=overwrite)
+            return f
+
+        return _decorator
+    if not overwrite and name in _PROBLEM_FACTORIES:
+        raise ValueError(
+            f"problem {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _PROBLEM_FACTORIES[name] = factory
+    return factory
+
+
+def unregister_problem(name: str) -> None:
+    """Remove a registered problem (primarily for tests)."""
+    _PROBLEM_FACTORIES.pop(name, None)
+
+
+def get_problem(name: str, **params: Any) -> Problem:
+    """Instantiate the problem registered under ``name`` with ``params``."""
+    try:
+        factory = _PROBLEM_FACTORIES[name]
+    except KeyError:
+        raise ProblemNotFoundError(
+            f"unknown problem {name!r}; registered: {available_problems()}"
+        ) from None
+    return factory(**params)
+
+
+def available_problems() -> List[str]:
+    """Sorted names of all registered problems."""
+    return sorted(_PROBLEM_FACTORIES)

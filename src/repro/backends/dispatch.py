@@ -312,6 +312,8 @@ class ArrayBackend(Protocol):
 
     def matmul(self, a, b): ...
 
+    def norm(self, x): ...
+
     def lu_factor(self, a, pivot: bool = True): ...
 
     def lu_solve(self, lu, piv, b, pivot: bool = True): ...
@@ -342,6 +344,9 @@ class NumpyBackend:
 
     def matmul(self, a, b):
         return np.matmul(a, b)
+
+    def norm(self, x):
+        return np.linalg.norm(x)
 
     def lu_factor(self, a, pivot: bool = True):
         if pivot:
@@ -399,6 +404,9 @@ class CupyBackend:
 
     def matmul(self, a, b):  # pragma: no cover - requires cupy
         return self._cp.matmul(a, b)
+
+    def norm(self, x):  # pragma: no cover - requires cupy
+        return self._cp.linalg.norm(x)
 
     def lu_factor(self, a, pivot: bool = True):  # pragma: no cover - requires cupy
         lu, piv = self.lu_factor_batch(self._cp.asarray(a)[None], pivot=pivot)

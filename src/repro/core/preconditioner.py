@@ -1,124 +1,85 @@
-"""Low-accuracy HODLR factorizations as preconditioners (paper, section IV-C).
+"""Deprecated Krylov helpers — superseded by :mod:`repro.api`.
 
-When the compression tolerance is loose (e.g. 1e-4), the HODLR
-factorization is cheap, compact, and only approximately inverts the
-operator — exactly the regime the paper uses as a "robust preconditioner"
-for Krylov methods on BIE systems that are hard to solve iteratively.
+Low-accuracy HODLR factorizations as preconditioners (paper, section IV-C)
+are now expressed through the facade::
 
-:class:`HODLRPreconditioner` wraps a factorized :class:`HODLRSolver` (or any
-of the factorization objects) as a SciPy ``LinearOperator`` so it can be
-passed as ``M`` to ``scipy.sparse.linalg.gmres``/``cg``; the convenience
-functions :func:`gmres_with_hodlr` and :func:`cg_with_hodlr` run the Krylov
-solve and report the iteration count, which is the quantity of interest
-when comparing preconditioner quality.
+    op = repro.build_operator(problem, config)      # loose tol in the config
+    x, info, log = repro.api.gmres_solve(A, b, preconditioner=op)
+
+or, at the SciPy level, ``M=op.as_preconditioner()`` with any Krylov
+routine.  Everything in this module is a thin shim kept for backward
+compatibility: each entry point emits a :class:`DeprecationWarning` and
+delegates to the :mod:`repro.api.krylov` / :mod:`repro.api.operator`
+implementations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, Union
+import warnings
 
 import numpy as np
-from scipy.sparse.linalg import LinearOperator, cg, gmres
 
-from .hodlr import HODLRMatrix
+from ..api.krylov import IterationLog, OperatorLike, cg_solve, gmres_solve
+from ..api.operator import HODLRInverseOperator
 from .solver import HODLRSolver
 
-OperatorLike = Union[np.ndarray, HODLRMatrix, LinearOperator, Callable[[np.ndarray], np.ndarray]]
+__all__ = [
+    "HODLRPreconditioner",
+    "IterationLog",
+    "OperatorLike",
+    "gmres_with_hodlr",
+    "cg_with_hodlr",
+]
 
 
-def _as_matvec(operator: OperatorLike, n: int) -> Callable[[np.ndarray], np.ndarray]:
-    if isinstance(operator, np.ndarray):
-        return lambda x: operator @ x
-    if isinstance(operator, HODLRMatrix):
-        return operator.matvec
-    if isinstance(operator, LinearOperator):
-        return operator.matvec
-    if callable(operator):
-        return operator
-    raise TypeError(f"cannot interpret {type(operator)!r} as a linear operator")
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-@dataclass
-class IterationLog:
-    """Residual history recorded through the Krylov callback."""
-
-    residuals: list
-
-    @property
-    def iterations(self) -> int:
-        return len(self.residuals)
-
-
-class HODLRPreconditioner(LinearOperator):
-    """A factorized HODLR approximation exposed as ``M ~= A^{-1}``."""
+class HODLRPreconditioner(HODLRInverseOperator):
+    """Deprecated: use ``HODLROperator.as_preconditioner()`` (repro.api)."""
 
     def __init__(self, solver: HODLRSolver) -> None:
+        _warn_deprecated(
+            "HODLRPreconditioner",
+            "repro.api.HODLROperator.as_preconditioner() or repro.api.as_preconditioner()",
+        )
         if not solver.factored:
             solver.factorize()
         self.solver = solver
-        n = solver.hodlr.n
-        dtype = solver.hodlr.dtype
-        super().__init__(dtype=dtype, shape=(n, n))
-
-    def _matvec(self, x: np.ndarray) -> np.ndarray:
-        return self.solver.solve(np.asarray(x).ravel())
-
-    def _matmat(self, X: np.ndarray) -> np.ndarray:
-        return self.solver.solve(np.asarray(X))
+        super().__init__(solver)
 
 
 def gmres_with_hodlr(
     operator: OperatorLike,
     b: np.ndarray,
-    preconditioner: Optional[HODLRPreconditioner] = None,
+    preconditioner=None,
     tol: float = 1e-10,
     maxiter: int = 500,
     restart: int = 50,
-) -> Tuple[np.ndarray, int, IterationLog]:
-    """Run (preconditioned) GMRES; returns ``(x, info, iteration_log)``."""
-    b = np.asarray(b)
-    n = b.shape[0]
-    matvec = _as_matvec(operator, n)
-    dtype = np.result_type(b.dtype, np.asarray(matvec(np.zeros(n, dtype=b.dtype))).dtype)
-    A = LinearOperator((n, n), matvec=matvec, dtype=dtype)
-    log = IterationLog(residuals=[])
-
-    def callback(rk):
-        # scipy passes either the residual norm (legacy) or the residual vector
-        log.residuals.append(float(np.linalg.norm(rk)) if np.ndim(rk) else float(rk))
-
-    x, info = gmres(
-        A,
-        b,
-        rtol=tol,
-        atol=0.0,
-        maxiter=maxiter,
-        restart=restart,
-        M=preconditioner,
-        callback=callback,
-        callback_type="pr_norm",
+):
+    """Deprecated: use :func:`repro.api.gmres_solve`."""
+    _warn_deprecated("gmres_with_hodlr", "repro.api.gmres_solve")
+    return gmres_solve(
+        operator, b, preconditioner=preconditioner, tol=tol, maxiter=maxiter, restart=restart
     )
-    return x, int(info), log
 
 
 def cg_with_hodlr(
     operator: OperatorLike,
     b: np.ndarray,
-    preconditioner: Optional[HODLRPreconditioner] = None,
+    preconditioner=None,
     tol: float = 1e-10,
     maxiter: int = 500,
-) -> Tuple[np.ndarray, int, IterationLog]:
-    """Run (preconditioned) CG for SPD operators; returns ``(x, info, log)``."""
-    b = np.asarray(b)
-    n = b.shape[0]
-    matvec = _as_matvec(operator, n)
-    A = LinearOperator((n, n), matvec=matvec, dtype=b.dtype)
-    log = IterationLog(residuals=[])
-
-    def callback(xk):
-        r = b - A.matvec(xk)
-        log.residuals.append(float(np.linalg.norm(r)))
-
-    x, info = cg(A, b, rtol=tol, atol=0.0, maxiter=maxiter, M=preconditioner, callback=callback)
-    return x, int(info), log
+):
+    """Deprecated: use :func:`repro.api.cg_solve`."""
+    _warn_deprecated("cg_with_hodlr", "repro.api.cg_solve")
+    # the legacy helper always recorded the residual history
+    return cg_solve(
+        operator, b, preconditioner=preconditioner, tol=tol, maxiter=maxiter,
+        record_residuals=True,
+    )

@@ -1,12 +1,24 @@
-"""User-facing solver API wrapping the three factorization variants.
+"""The factorization engine behind the :mod:`repro.api` facade.
 
-:class:`HODLRSolver` is the main entry point of the library:
+The recommended entry points live one level up, in :mod:`repro.api`:
 
->>> from repro import ClusterTree, build_hodlr, HODLRSolver
->>> tree = ClusterTree.balanced(n, leaf_size=64)                # doctest: +SKIP
->>> A = build_hodlr(entries, tree, tol=1e-10, method="rook")    # doctest: +SKIP
->>> solver = HODLRSolver(A, variant="batched").factorize()      # doctest: +SKIP
->>> x = solver.solve(b)                                         # doctest: +SKIP
+>>> import repro
+>>> result = repro.solve("gaussian_kernel", config=cfg, n=4096)  # doctest: +SKIP
+>>> op = repro.build_operator(hodlr, config=cfg)                 # doctest: +SKIP
+>>> x = op.solve(b); op.logdet()                                 # doctest: +SKIP
+
+``repro.solve`` resolves a registered problem (or any matrix-like input)
+to a HODLR approximation and an :class:`~repro.api.operator.HODLROperator`
+— a SciPy ``LinearOperator`` that factorizes lazily, refactorizes on dtype
+changes, and exposes ``solve``/``logdet``/``as_preconditioner()``.
+
+:class:`HODLRSolver` below is the engine those objects drive: it binds a
+:class:`~repro.core.hodlr.HODLRMatrix` to one factorization variant and an
+array backend, and owns the timings/diagnostics (:class:`SolveStats`).
+Instantiating it directly remains supported for low-level work
+(``HODLRSolver(H, variant="flat").factorize()``); facade code should use
+:meth:`HODLRSolver.from_config` so all option plumbing stays in
+:class:`~repro.api.config.SolverConfig`.
 
 Variants
 --------
@@ -44,16 +56,27 @@ _VARIANTS = ("recursive", "flat", "batched")
 
 @dataclass
 class SolveStats:
-    """Timings and diagnostics collected by :class:`HODLRSolver`."""
+    """Timings and diagnostics collected by :class:`HODLRSolver`.
+
+    ``solve_seconds`` accumulates over every ``solve()`` call (with
+    ``num_solves`` counting them); ``last_solve_seconds`` holds only the
+    most recent call, which is what per-solve tables should report.
+    """
 
     factor_seconds: float = 0.0
     solve_seconds: float = 0.0
+    last_solve_seconds: float = 0.0
+    num_solves: int = 0
     factorization_bytes: int = 0
     relative_residual: Optional[float] = None
 
     @property
     def factorization_gb(self) -> float:
         return self.factorization_bytes / 1.0e9
+
+    @property
+    def mean_solve_seconds(self) -> float:
+        return self.solve_seconds / self.num_solves if self.num_solves else 0.0
 
 
 class HODLRSolver:
@@ -114,6 +137,28 @@ class HODLRSolver:
         ] = None
         self._bigdata: Optional[BigMatrices] = None
 
+    _UNSET = object()
+
+    @classmethod
+    def from_config(cls, hodlr: HODLRMatrix, config, dtype=_UNSET) -> "HODLRSolver":
+        """Construct from a :class:`repro.api.config.SolverConfig`.
+
+        ``config`` is duck-typed (any object with ``variant``, ``backend``,
+        ``dispatch_policy``, ``pivot``, ``stream_cutoff``, and
+        ``numpy_dtype`` attributes works).  ``dtype`` overrides the config's
+        dtype when given — pass ``dtype=None`` explicitly if ``hodlr`` is
+        already stored at the target dtype to skip the cast.
+        """
+        return cls(
+            hodlr,
+            variant=config.variant,
+            dtype=config.numpy_dtype if dtype is cls._UNSET else dtype,
+            pivot=config.pivot,
+            stream_cutoff=config.stream_cutoff,
+            backend=config.backend,
+            dispatch_policy=config.dispatch_policy,
+        )
+
     # ------------------------------------------------------------------
     # factorization
     # ------------------------------------------------------------------
@@ -160,16 +205,29 @@ class HODLRSolver:
         impl = self._require_factored()
         t0 = time.perf_counter()
         x = impl.solve(b)
-        self.stats.solve_seconds = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.stats.last_solve_seconds = elapsed
+        self.stats.solve_seconds += elapsed
+        self.stats.num_solves += 1
         if compute_residual:
             self.stats.relative_residual = self.relative_residual(x, b)
         return x
 
     def relative_residual(self, x: np.ndarray, b: np.ndarray) -> float:
-        """``||b - A x|| / ||b||`` using the HODLR matvec (the paper's relres)."""
-        r = np.asarray(b) - self.hodlr.matvec(x)
-        denom = np.linalg.norm(b)
-        return float(np.linalg.norm(r) / denom) if denom > 0 else float(np.linalg.norm(r))
+        """``||b - A x|| / ||b||`` using the HODLR matvec (the paper's relres).
+
+        Norms are routed through the active :class:`ArrayBackend`, so
+        device-resident ``x``/``b`` (e.g. CuPy arrays) are handled without
+        forcing a NumPy conversion; the HODLR matvec itself runs on the
+        host, which is where the compressed blocks live.
+        """
+        ab = self.backend.array_backend
+        b_arr = ab.asarray(b)
+        x_host = ab.to_host(ab.asarray(x))
+        r = b_arr - ab.from_host(np.asarray(self.hodlr.matvec(x_host)))
+        num = float(ab.to_host(ab.norm(r)))
+        denom = float(ab.to_host(ab.norm(b_arr)))
+        return num / denom if denom > 0 else num
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         return self.hodlr.matvec(x)

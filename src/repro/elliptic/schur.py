@@ -37,7 +37,6 @@ from scipy.sparse.linalg import splu
 from ..core.cluster_tree import ClusterTree
 from ..core.hodlr import HODLRMatrix
 from ..core.peeling import peel_hodlr
-from ..core.solver import HODLRSolver
 from .grid import RegularGrid2D
 from .poisson import assemble_poisson_2d
 
@@ -59,6 +58,10 @@ class SchurComplementSolver:
         (an upper bound on the captured rank).
     leaf_size:
         Leaf size of the cluster tree over the separator.
+    solver_config:
+        A :class:`repro.api.config.SolverConfig` controlling the
+        factorization of the compressed Schur complement (``None`` uses the
+        default batched configuration).
     """
 
     grid: RegularGrid2D
@@ -69,15 +72,22 @@ class SchurComplementSolver:
     tol: float = 1e-10
     rank: int = 32
     leaf_size: int = 32
+    solver_config: Optional[object] = field(default=None, repr=False)
 
     A: Optional[sp.csr_matrix] = field(default=None, repr=False)
     hodlr_schur: Optional[HODLRMatrix] = field(default=None, repr=False)
-    schur_solver: Optional[HODLRSolver] = field(default=None, repr=False)
+    #: the factorized Schur complement as a :class:`repro.api.operator.HODLROperator`
+    schur_solver: Optional[object] = field(default=None, repr=False)
+    assembled: bool = False
     built: bool = False
 
     # ------------------------------------------------------------------
-    def build(self) -> "SchurComplementSolver":
-        """Assemble the operator, form the Schur complement, compress and factorize it."""
+    def assemble(self) -> "SchurComplementSolver":
+        """Assemble the operator, form the Schur complement, and compress it.
+
+        Stops before the factorization so the compressed Schur complement
+        can be handed to the :mod:`repro.api` facade as a problem.
+        """
         self.A = assemble_poisson_2d(self.grid, a=self.a, b=self.b)
         left, right, sep = self.grid.separator_partition()
         self._left, self._right, self._sep = left, right, sep
@@ -101,7 +111,33 @@ class SchurComplementSolver:
             tol=self.tol,
             rng=np.random.default_rng(0),
         )
-        self.schur_solver = HODLRSolver(self.hodlr_schur, variant="batched").factorize()
+        self.assembled = True
+        return self
+
+    def attach_schur_solver(self, operator) -> "SchurComplementSolver":
+        """Adopt an externally built factorization of ``hodlr_schur``.
+
+        The :mod:`repro.api` facade shares its (lazy)
+        :class:`~repro.api.operator.HODLROperator` this way so the Schur
+        complement is factorized once, not once per consumer.
+        """
+        if not self.assembled:
+            raise RuntimeError("call assemble() first")
+        self.schur_solver = operator
+        self.built = True
+        return self
+
+    def build(self) -> "SchurComplementSolver":
+        """Assemble the operator, form the Schur complement, compress and factorize it."""
+        if not self.assembled:
+            self.assemble()
+        # local import: the api package deliberately depends on the domain
+        # layers, not the other way around
+        from ..api.config import SolverConfig
+        from ..api.operator import HODLROperator
+
+        config = self.solver_config if self.solver_config is not None else SolverConfig()
+        self.schur_solver = HODLROperator(self.hodlr_schur, config).factorize()
         self.built = True
         return self
 
@@ -132,9 +168,23 @@ class SchurComplementSolver:
 
     def dense_schur(self) -> np.ndarray:
         """Explicit Schur complement (small problems / accuracy checks)."""
-        if not self.built:
-            raise RuntimeError("call build() first")
+        if not self.assembled:
+            raise RuntimeError("call assemble() or build() first")
         return self.apply_schur(np.eye(self._sep.size))
+
+    def _forward_eliminate(self, f: np.ndarray):
+        """Interior solves and the condensed separator load: ``(y_l, y_r, g_s)``."""
+        if not self.assembled:
+            raise RuntimeError("call assemble() or build() first")
+        f = np.asarray(f, dtype=float)
+        y_l = self._A_ll.solve(f[self._left])
+        y_r = self._A_rr.solve(f[self._right])
+        g_s = f[self._sep] - self._A_sl @ y_l - self._A_sr @ y_r
+        return y_l, y_r, g_s
+
+    def condense_rhs(self, f: np.ndarray) -> np.ndarray:
+        """The separator right-hand side ``g_s = f_s - A_sl A_ll^{-1} f_l - A_sr A_rr^{-1} f_r``."""
+        return self._forward_eliminate(f)[2]
 
     # ------------------------------------------------------------------
     # full solve by block elimination
@@ -149,12 +199,9 @@ class SchurComplementSolver:
                 f"right-hand side has {f.shape[0]} entries, expected {self.grid.num_points}"
             )
         left, right, sep = self._left, self._right, self._sep
-        f_l, f_r, f_s = f[left], f[right], f[sep]
 
         # forward elimination: condense the interiors onto the separator
-        y_l = self._A_ll.solve(f_l)
-        y_r = self._A_rr.solve(f_r)
-        g_s = f_s - self._A_sl @ y_l - self._A_sr @ y_r
+        y_l, y_r, g_s = self._forward_eliminate(f)
 
         # separator solve with the HODLR factorization of S
         u_s = self.schur_solver.solve(g_s)

@@ -153,16 +153,16 @@ class TestHelmholtzPipeline:
 
     def test_low_accuracy_preconditioner(self, helmholtz_system, rng):
         """Table Vb regime: a loose HODLR factorization preconditions GMRES effectively."""
-        from repro import HODLRPreconditioner, gmres_with_hodlr
+        from repro.api import HODLROperator, gmres_solve
 
         bie, _ = helmholtz_system
         A = bie.dense()
         H_low = build_hodlr_proxy(bie, config=ProxyCompressionConfig(tol=1e-3), leaf_size=64)
-        M = HODLRPreconditioner(HODLRSolver(H_low, variant="batched"))
+        M = HODLROperator(H_low, variant="batched")
         b = rng.standard_normal(bie.n) + 1j * rng.standard_normal(bie.n)
-        x_prec, info_prec, log_prec = gmres_with_hodlr(A, b, preconditioner=M, tol=1e-10,
-                                                       maxiter=300)
-        _, _, log_plain = gmres_with_hodlr(A, b, preconditioner=None, tol=1e-10, maxiter=300)
+        x_prec, info_prec, log_prec = gmres_solve(A, b, preconditioner=M, tol=1e-10,
+                                                  maxiter=300)
+        _, _, log_plain = gmres_solve(A, b, preconditioner=None, tol=1e-10, maxiter=300)
         assert info_prec == 0
         assert np.linalg.norm(A @ x_prec - b) / np.linalg.norm(b) < 1e-8
         assert log_prec.iterations < log_plain.iterations

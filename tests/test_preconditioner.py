@@ -1,16 +1,15 @@
-"""Tests for low-accuracy HODLR factorizations used as Krylov preconditioners."""
+"""Tests for low-accuracy HODLR factorizations used as Krylov preconditioners.
+
+These exercise the :mod:`repro.api` spellings (``HODLROperator`` /
+``gmres_solve`` / ``cg_solve``); the deprecated ``HODLRPreconditioner`` /
+``gmres_with_hodlr`` shims are covered in ``tests/test_api.py``.
+"""
 
 import numpy as np
 import pytest
 
-from repro import (
-    ClusterTree,
-    HODLRPreconditioner,
-    HODLRSolver,
-    build_hodlr,
-    cg_with_hodlr,
-    gmres_with_hodlr,
-)
+from repro import ClusterTree, HODLRSolver, build_hodlr
+from repro.api import HODLROperator, as_preconditioner, cg_solve, gmres_solve
 from conftest import hodlr_friendly_matrix, spd_kernel_matrix
 
 
@@ -28,7 +27,7 @@ def hard_system(rng):
 class TestPreconditioner:
     def test_preconditioner_is_approximate_inverse(self, hard_system, rng):
         A, H, _ = hard_system
-        M = HODLRPreconditioner(HODLRSolver(H, variant="batched"))
+        M = HODLROperator(H).as_preconditioner()
         x = rng.standard_normal(A.shape[0])
         # M A x should be close to x (loose tolerance => few percent error)
         y = M.matvec(A @ x)
@@ -36,9 +35,9 @@ class TestPreconditioner:
 
     def test_gmres_unpreconditioned_vs_preconditioned(self, hard_system):
         A, H, b = hard_system
-        x0, info0, log0 = gmres_with_hodlr(A, b, preconditioner=None, tol=1e-10, maxiter=400)
-        M = HODLRPreconditioner(HODLRSolver(H, variant="batched"))
-        x1, info1, log1 = gmres_with_hodlr(A, b, preconditioner=M, tol=1e-10, maxiter=400)
+        x0, info0, log0 = gmres_solve(A, b, preconditioner=None, tol=1e-10, maxiter=400)
+        M = HODLROperator(H, variant="batched")
+        x1, info1, log1 = gmres_solve(A, b, preconditioner=M, tol=1e-10, maxiter=400)
         assert info1 == 0
         assert np.linalg.norm(A @ x1 - b) / np.linalg.norm(b) < 1e-8
         # preconditioning must reduce the iteration count substantially
@@ -47,16 +46,16 @@ class TestPreconditioner:
 
     def test_gmres_matvec_operator_input(self, hard_system):
         A, H, b = hard_system
-        M = HODLRPreconditioner(HODLRSolver(H, variant="flat"))
-        x, info, _ = gmres_with_hodlr(lambda v: A @ v, b, preconditioner=M, tol=1e-10)
+        M = HODLROperator(H, variant="flat")
+        x, info, _ = gmres_solve(lambda v: A @ v, b, preconditioner=M, tol=1e-10)
         assert info == 0
         assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-8
 
     def test_gmres_with_hodlr_operator(self, hard_system):
         A, H, b = hard_system
         # use the HODLR approximation itself as the operator (consistent system)
-        M = HODLRPreconditioner(HODLRSolver(H, variant="batched"))
-        x, info, log = gmres_with_hodlr(H, b, preconditioner=M, tol=1e-12)
+        op = HODLROperator(H, variant="batched")
+        x, info, log = gmres_solve(op, b, preconditioner=op, tol=1e-12)
         assert info == 0
         assert np.linalg.norm(H.matvec(x) - b) / np.linalg.norm(b) < 1e-10
         # preconditioner built from the same matrix: should converge almost immediately
@@ -68,24 +67,26 @@ class TestPreconditioner:
         tree = ClusterTree.balanced(n, leaf_size=32)
         H = build_hodlr(A, tree, tol=1e-3, method="svd")
         b = rng.standard_normal(n)
-        M = HODLRPreconditioner(HODLRSolver(H, variant="batched"))
-        x_plain, info_plain, log_plain = cg_with_hodlr(A, b, tol=1e-10, maxiter=2000)
-        x_prec, info_prec, log_prec = cg_with_hodlr(A, b, preconditioner=M, tol=1e-10, maxiter=2000)
+        M = HODLROperator(H, variant="batched")
+        x_plain, info_plain, log_plain = cg_solve(A, b, tol=1e-10, maxiter=2000)
+        x_prec, info_prec, log_prec = cg_solve(A, b, preconditioner=M, tol=1e-10, maxiter=2000)
         assert info_prec == 0
         assert np.linalg.norm(A @ x_prec - b) / np.linalg.norm(b) < 1e-8
         assert log_prec.iterations < log_plain.iterations
 
-    def test_unfactored_solver_is_factorized_lazily(self, hard_system):
-        _, H, _ = hard_system
+    def test_bare_solver_as_preconditioner(self, hard_system):
+        """A HODLRSolver is accepted directly (and lazily factorized)."""
+        A, H, b = hard_system
         solver = HODLRSolver(H, variant="flat")
         assert not solver.factored
-        M = HODLRPreconditioner(solver)
+        M = as_preconditioner(solver)
         assert solver.factored
         assert M.shape == (H.n, H.n)
+        x, info, _ = gmres_solve(A, b, preconditioner=solver, tol=1e-10)
+        assert info == 0
 
     def test_iteration_log(self, hard_system):
         A, H, b = hard_system
-        M = HODLRPreconditioner(HODLRSolver(H))
-        _, _, log = gmres_with_hodlr(A, b, preconditioner=M, tol=1e-10)
+        _, _, log = gmres_solve(A, b, preconditioner=HODLROperator(H), tol=1e-10)
         assert log.iterations == len(log.residuals)
         assert all(r >= 0 for r in log.residuals)
