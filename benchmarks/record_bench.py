@@ -1,0 +1,258 @@
+"""Record the repo's measured perf trajectory: ``BENCH_pr3.json``.
+
+Times the three hot paths this PR batched — HODLR **construction**, the
+**matvec/GMRES apply loop**, and the **end-to-end solve** — for the
+``gaussian_kernel`` and ``rpy_mobility`` workloads, each against the
+per-block loop baseline (``construction="loop"`` / the un-compiled tree
+walk), and writes the rows to a ``BENCH_*.json`` file at the repository
+root so future PRs have a trajectory to compare against.
+
+Usage::
+
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr3.json
+    python benchmarks/record_bench.py --smoke         # CI perf-smoke sizes
+    python benchmarks/record_bench.py --output out.json
+
+The full run reproduces the PR-3 acceptance numbers: batched construction
+of an N=16384 Gaussian-kernel HODLR and a 50-iteration GMRES apply loop,
+each vs. the loop path on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro  # noqa: E402
+from repro.api import CompressionConfig, SolverConfig  # noqa: E402
+from repro.kernels import GaussianKernel, KernelMatrix  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _timed_pair_best(fn_a, fn_b, repeats=4):
+    """Interleaved best-of-N wall clock for an A/B comparison.
+
+    The sub-second apply benchmarks are too noisy for single-shot timing on
+    a shared machine, and background load drifts on the scale of one
+    benchmark — so the two sides alternate (A B A B ...) and each reports
+    its best repeat, sampling the same load windows.  (Construction is not
+    repeated: at tens of seconds a single shot is representative.)
+    """
+    best_a = best_b = None
+    out_a = out_b = None
+    for _ in range(repeats):
+        t, out_a = _timed(fn_a)
+        best_a = t if best_a is None else min(best_a, t)
+        t, out_b = _timed(fn_b)
+        best_b = t if best_b is None else min(best_b, t)
+    return best_a, best_b, out_a, out_b
+
+
+def _row(name, batched_s, loop_s, **params):
+    row = {
+        "batched_s": round(batched_s, 4),
+        "loop_s": round(loop_s, 4),
+        "speedup": round(loop_s / batched_s, 2) if batched_s > 0 else None,
+    }
+    row.update(params)
+    print(
+        f"  {name:<38s} batched {batched_s:8.3f}s   loop {loop_s:8.3f}s   "
+        f"speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
+def _gaussian_km(n):
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-1.0, 1.0, size=(n, 2))
+    return KernelMatrix(
+        kernel=GaussianKernel(lengthscale=0.25), points=points, diagonal_shift=1.0
+    )
+
+
+def bench_gaussian_construction(n, max_rank, tol=1e-8, leaf_size=64):
+    """Batched vs loop construction of the Gaussian-kernel HODLR."""
+    km = _gaussian_km(n)
+    kwargs = dict(leaf_size=leaf_size, tol=tol, method="randomized", max_rank=max_rank)
+    tb, (Hb, _) = _timed(lambda: km.to_hodlr(construction="batched", **kwargs))
+    tl, (Hl, _) = _timed(lambda: km.to_hodlr(construction="loop", **kwargs))
+    # equivalence guard: both paths must represent the same operator
+    rng = np.random.default_rng(9)
+    x = rng.standard_normal(n)
+    yb, yl = Hb.matvec(x), Hl.matvec(x)
+    rel = float(np.linalg.norm(yb - yl) / np.linalg.norm(yl))
+    # both sides are independent approximations at (tol, max_rank); their
+    # matvecs agree to the compression accuracy, not machine precision
+    row = _row("gaussian_construction", tb, tl, n=n, max_rank=max_rank,
+               tol=tol, leaf_size=leaf_size, matvec_agreement=rel)
+    assert rel < 1e-4, f"batched/loop construction disagree: {rel}"
+    return row
+
+
+def build_apply_matrix(n, tol=1e-4, leaf_size=32):
+    """The Krylov-regime operator the apply benchmarks run on.
+
+    Preconditioner-accuracy compression (the paper's robust-preconditioner
+    usage) over a deep tree: modest ranks, many nodes — exactly the regime
+    where a GMRES iteration pays the per-node Python walk and the compiled
+    plan collapses it to a handful of launches.
+    """
+    km = _gaussian_km(n)
+    H, _ = km.to_hodlr(leaf_size=leaf_size, tol=tol, method="randomized",
+                       construction="batched")
+    return H
+
+
+def bench_apply_loop(H, iters=50, **params):
+    """The Krylov-iteration cost: ``iters`` matvecs, compiled plan vs tree walk."""
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(H.n)
+
+    def run_loop():
+        v = x
+        for _ in range(iters):
+            v = H.matvec(v)
+            v = v / np.linalg.norm(v)
+        return v
+
+    def run_loop_path():
+        H.clear_apply_plan()
+        return run_loop()
+
+    def run_plan_path():
+        # plan compile time is charged to this side (paid once per matrix)
+        H.build_apply_plan(force=True)
+        return run_loop()
+
+    tl, tb, vl, vb = _timed_pair_best(run_loop_path, run_plan_path)
+    rel = float(np.linalg.norm(vb - vl) / np.linalg.norm(vl))
+    row = _row(f"matvec_apply_loop_{iters}it", tb, tl, n=H.n, iters=iters,
+               agreement=rel, **params)
+    assert rel < 1e-10
+    return row
+
+
+def bench_gmres(H, iters=50, **params):
+    """End-to-end GMRES with the HODLR forward operator, plan vs loop."""
+    from scipy.sparse.linalg import LinearOperator, gmres
+
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal(H.n)
+
+    def run(op):
+        # one restart cycle of `iters` inner iterations, tolerance forced to
+        # unreachable: we are measuring the apply loop, not convergence
+        x, _ = gmres(op, b, rtol=1e-300, atol=0.0, restart=iters, maxiter=1)
+        return x
+
+    op = LinearOperator(shape=(H.n, H.n), dtype=H.dtype, matvec=H.matvec)
+
+    def run_loop_path():
+        H.clear_apply_plan()
+        return run(op)
+
+    def run_plan_path():
+        H.build_apply_plan()
+        return run(op)
+
+    tl, tb, xl, xb = _timed_pair_best(run_loop_path, run_plan_path)
+    rel = float(np.linalg.norm(xb - xl) / max(np.linalg.norm(xl), 1e-300))
+    row = _row(f"gmres_apply_loop_{iters}it", tb, tl, n=H.n, iters=iters,
+               agreement=rel, **params)
+    assert rel < 1e-6
+    return row
+
+
+def bench_end_to_end(problem, iters=1, **params):
+    """``repro.solve`` wall-clock (assemble + factorize + solve), batched vs loop."""
+
+    def run(construction):
+        cfg = SolverConfig(
+            compression=CompressionConfig(
+                tol=1e-8, method="randomized", construction=construction
+            )
+        )
+        t0 = time.perf_counter()
+        res = repro.solve(problem, config=cfg, **params)
+        return time.perf_counter() - t0, res
+
+    tb, res_b = run("batched")
+    tl, res_l = run("loop")
+    row = _row(f"solve_{problem}", tb, tl, relres_batched=res_b.relative_residual,
+               relres_loop=res_l.relative_residual, **params)
+    assert res_b.relative_residual < 1e-6
+    return row
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced sizes for the CI perf-smoke job")
+    ap.add_argument("--output", default=None,
+                    help="output path (default: BENCH_pr3.json at the repo root, "
+                         "BENCH_smoke.json with --smoke)")
+    args = ap.parse_args(argv)
+
+    n_construct = 2048 if args.smoke else 16384
+    n_e2e = 1024 if args.smoke else 4096
+    rpy_particles = 96 if args.smoke else 400
+    out_path = args.output or os.path.join(
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr3.json"
+    )
+
+    print(f"recording {'smoke' if args.smoke else 'full'} benchmark "
+          f"(construction N={n_construct}) ...")
+    benchmarks = {}
+    benchmarks["gaussian_construction"] = bench_gaussian_construction(
+        n_construct, max_rank=64
+    )
+    H = build_apply_matrix(n_construct)
+    benchmarks["gaussian_matvec_apply_loop"] = bench_apply_loop(
+        H, iters=50, tol=1e-4, leaf_size=32
+    )
+    benchmarks["gaussian_gmres_apply_loop"] = bench_gmres(
+        H, iters=50, tol=1e-4, leaf_size=32
+    )
+    benchmarks["gaussian_end_to_end"] = bench_end_to_end(
+        "gaussian_kernel", n=n_e2e
+    )
+    benchmarks["rpy_end_to_end"] = bench_end_to_end(
+        "rpy_mobility", num_particles=rpy_particles
+    )
+
+    payload = {
+        "meta": {
+            "pr": 3,
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "description": "batched level-parallel construction + compiled "
+                           "apply plan vs per-block loop baselines",
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -51,10 +51,14 @@ from .core.low_rank import LowRankFactor
 from .core.compression import (
     CompressionConfig,
     compress_block,
+    compress_blocks_batched,
     svd_compress,
+    svd_compress_batched,
     rook_pivot_compress,
     randomized_compress,
+    randomized_compress_batched,
 )
+from .core.apply_plan import ApplyPlan
 from .core.hodlr import HODLRMatrix, build_hodlr, build_hodlr_from_dense
 from .core.bigdata import BigMatrices
 from .core.factor_recursive import RecursiveFactorization
@@ -141,9 +145,13 @@ __all__ = [
     "LowRankFactor",
     "CompressionConfig",
     "compress_block",
+    "compress_blocks_batched",
     "svd_compress",
+    "svd_compress_batched",
     "rook_pivot_compress",
     "randomized_compress",
+    "randomized_compress_batched",
+    "ApplyPlan",
     "HODLRMatrix",
     "build_hodlr",
     "build_hodlr_from_dense",

@@ -46,6 +46,9 @@ COMPRESSION_METHODS = ("svd", "rook", "randomized", "proxy")
 #: factorization variants (mirrors ``repro.core.solver._VARIANTS``)
 VARIANTS = ("recursive", "flat", "batched")
 
+#: HODLR construction schedules (level-major batched vs per-block loop)
+CONSTRUCTION_MODES = ("batched", "loop")
+
 
 class ConfigError(ValueError):
     """Raised when a configuration value fails validation."""
@@ -76,6 +79,12 @@ class CompressionConfig:
         Extra samples for the randomized range finder.
     n_proxy:
         Points per proxy circle (``method="proxy"`` only).
+    construction:
+        ``"batched"`` (default) builds the HODLR approximation level-major
+        through the shape-bucketed batched kernels (one gathered entry
+        evaluation and one batched compression per tree level);
+        ``"loop"`` is the node-major per-block baseline the benchmarks
+        measure against.
     """
 
     tol: float = 1e-10
@@ -84,6 +93,7 @@ class CompressionConfig:
     leaf_size: int = 64
     oversampling: int = 10
     n_proxy: int = 64
+    construction: str = "batched"
 
     def __post_init__(self) -> None:
         _check(
@@ -110,6 +120,10 @@ class CompressionConfig:
             isinstance(self.n_proxy, int) and self.n_proxy >= 4,
             f"n_proxy must be an int >= 4, got {self.n_proxy!r}",
         )
+        _check(
+            self.construction in CONSTRUCTION_MODES,
+            f"construction must be one of {CONSTRUCTION_MODES}, got {self.construction!r}",
+        )
 
     # -- conversion to the low-level configs ---------------------------------
     def core_config(self, rng: Optional[np.random.Generator] = None) -> CoreCompressionConfig:
@@ -124,6 +138,7 @@ class CompressionConfig:
             method=self.method if self.method != "proxy" else "rook",
             oversampling=self.oversampling,
             rng=rng,
+            construction=self.construction,
         )
 
     def proxy_config(self) -> ProxyCompressionConfig:

@@ -32,6 +32,7 @@ from scipy.sparse.linalg import LinearOperator
 
 from ..backends.counters import KernelTrace
 from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
+from ..core.apply_plan import ApplyPlan
 from ..core.hodlr import HODLRMatrix
 from ..core.solver import HODLRSolver, SolveStats
 from .config import SolverConfig
@@ -75,6 +76,7 @@ class HODLROperator(LinearOperator):
         self._perm = None if perm is None else np.asarray(perm)
         self._cast: Optional[HODLRMatrix] = None
         self._solver: Optional[HODLRSolver] = None
+        self._plan: Optional[ApplyPlan] = None
         self._factor_dtype = np.dtype(
             config.dtype if config.dtype is not None else hodlr.dtype
         )
@@ -142,6 +144,7 @@ class HODLROperator(LinearOperator):
         self._factor_dtype = np.dtype(dtype)
         self._solver = None
         self._cast = None
+        self._plan = None
         self.dtype = self._factor_dtype
 
     def astype(self, dtype: Any) -> "HODLROperator":
@@ -153,13 +156,31 @@ class HODLROperator(LinearOperator):
     # ------------------------------------------------------------------
     # LinearOperator interface: the forward operator A (caller ordering)
     # ------------------------------------------------------------------
+    @property
+    def apply_plan(self) -> Optional[ApplyPlan]:
+        """The operator's compiled apply plan (``None`` until first use)."""
+        return self._plan
+
+    def _applied_plan(self) -> ApplyPlan:
+        """The compiled apply plan of the current HODLR matrix.
+
+        Built lazily on the first application and owned by the *operator*
+        (the caller's HODLRMatrix is left untouched — no hidden memory or
+        matvec rerouting on a shared object), so a Krylov loop pays the
+        bucket packing once and every subsequent matvec runs as a handful of
+        batched gemm launches.  Dtype refactorizations invalidate it.
+        """
+        if self._plan is None:
+            self._plan = ApplyPlan(self._current_hodlr())
+        return self._plan
+
     def _matvec(self, x: np.ndarray) -> np.ndarray:
         x_int = self._to_internal(np.asarray(x).ravel())
-        return self._to_caller(self._current_hodlr().matvec(x_int))
+        return self._to_caller(self._applied_plan().matvec(x_int))
 
     def _matmat(self, X: np.ndarray) -> np.ndarray:
         X_int = self._to_internal(np.asarray(X))
-        return self._to_caller(self._current_hodlr().matvec(X_int))
+        return self._to_caller(self._applied_plan().matvec(X_int))
 
     # ------------------------------------------------------------------
     # solve (the inverse action)

@@ -101,6 +101,7 @@ def _kernel_assembled(
         method=comp.method,
         max_rank=comp.max_rank,
         reorder=reorder,
+        construction=comp.construction,
     )
     identity = np.array_equal(perm, np.arange(kernel_matrix.n))
     metadata = dict(metadata, kernel_matrix=kernel_matrix)

@@ -50,6 +50,8 @@ import numpy as np
 from .counters import (
     KernelEvent,
     gemm_flops,
+    geqrf_flops,
+    gesvd_flops,
     getrf_flops,
     getrs_flops,
     record_event,
@@ -237,6 +239,18 @@ def _record_gemm(nbatch, shape_rep, flops, nbytes, dtype, strided, buckets):
     )
 
 
+def _storage_nbytes(a: np.ndarray) -> int:
+    """Physical bytes behind an operand.
+
+    A ``broadcast_to`` view (stride-0 batch axis — e.g. one test matrix
+    shared by a whole sampling bucket) reports its *virtual* size through
+    ``nbytes``; the traffic model should charge the actual storage once.
+    """
+    if isinstance(a, np.ndarray) and 0 in a.strides:
+        return a.base.nbytes if a.base is not None else a.nbytes
+    return a.nbytes
+
+
 def gemm_strided_batched(
     A: np.ndarray,
     B: np.ndarray,
@@ -277,12 +291,75 @@ def gemm_strided_batched(
             batch=nbatch,
             shape=(m, n, k),
             flops=gemm_flops(m, n, k, cplx) * nbatch,
-            bytes_moved=float(A.nbytes + B.nbytes + out.nbytes),
+            bytes_moved=float(_storage_nbytes(A) + _storage_nbytes(B) + out.nbytes),
             dtype_size=out.dtype.itemsize,
             strided=True,
         )
     )
     return out
+
+
+# ----------------------------------------------------------------------
+# QR / SVD (batched construction kernels)
+# ----------------------------------------------------------------------
+def qr_batched(
+    A: np.ndarray,
+    backend: Optional[ArrayBackend] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Strided batched thin QR (cuSOLVER ``geqrfBatched`` + ``orgqr``).
+
+    ``A`` is ``(batch, m, n)``; returns ``(Q, R)`` with ``Q`` of shape
+    ``(batch, m, k)`` and ``R`` of shape ``(batch, k, n)``, ``k = min(m, n)``.
+    One launch for the whole uniform batch — the construction stage packs
+    heterogeneous levels into shape buckets before calling this.
+    """
+    if A.ndim != 3:
+        raise ValueError("qr_batched expects a 3-D strided batch")
+    xb, _ = _resolve(backend, None)
+    Q, R = xb.qr_batch(A)
+    nbatch, m, n = A.shape
+    cplx = _is_complex(A.dtype)
+    record_event(
+        KernelEvent(
+            kernel="geqrf_batched",
+            batch=nbatch,
+            shape=(m, n, 0),
+            flops=geqrf_flops(m, n, cplx) * nbatch,
+            bytes_moved=float(A.nbytes + Q.nbytes + R.nbytes),
+            dtype_size=A.dtype.itemsize,
+            strided=True,
+        )
+    )
+    return Q, R
+
+
+def svd_batched(
+    A: np.ndarray,
+    backend: Optional[ArrayBackend] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Strided batched economy SVD (cuSOLVER ``gesvdjBatched``).
+
+    ``A`` is ``(batch, m, n)``; returns ``(U, s, Vh)`` in the
+    ``full_matrices=False`` convention, one launch per uniform batch.
+    """
+    if A.ndim != 3:
+        raise ValueError("svd_batched expects a 3-D strided batch")
+    xb, _ = _resolve(backend, None)
+    U, s, Vh = xb.svd_batch(A)
+    nbatch, m, n = A.shape
+    cplx = _is_complex(A.dtype)
+    record_event(
+        KernelEvent(
+            kernel="gesvd_batched",
+            batch=nbatch,
+            shape=(m, n, 0),
+            flops=gesvd_flops(m, n, cplx) * nbatch,
+            bytes_moved=float(A.nbytes + U.nbytes + s.nbytes + Vh.nbytes),
+            dtype_size=A.dtype.itemsize,
+            strided=True,
+        )
+    )
+    return U, s, Vh
 
 
 # ----------------------------------------------------------------------

@@ -271,3 +271,25 @@ def getrs_flops(n: int, nrhs: int, complex_arith: bool = False) -> float:
     """Flops for triangular solves with ``nrhs`` right-hand sides (2 n^2 per rhs)."""
     base = 2.0 * n ** 2 * nrhs
     return 4.0 * base if complex_arith else base
+
+
+def geqrf_flops(m: int, n: int, complex_arith: bool = False) -> float:
+    """Flops for a Householder thin QR of an ``m x n`` block (2 m n^2 - 2/3 n^3).
+
+    Used by the batched range finder of the construction stage; includes the
+    explicit formation of the thin ``Q`` factor.
+    """
+    k = min(m, n)
+    base = 2.0 * m * n * k - 2.0 / 3.0 * k ** 3 + 2.0 * m * k * k
+    return 4.0 * base if complex_arith else base
+
+
+def gesvd_flops(m: int, n: int, complex_arith: bool = False) -> float:
+    """Flops for an economy SVD of an ``m x n`` block (Golub--Van Loan estimate).
+
+    The standard ``14 m n^2 + 8 n^3`` count for the R-bidiagonalisation path
+    (with ``m >= n``; the transposed problem is priced symmetrically).
+    """
+    hi, lo = (m, n) if m >= n else (n, m)
+    base = 14.0 * hi * lo ** 2 + 8.0 * lo ** 3
+    return 4.0 * base if complex_arith else base

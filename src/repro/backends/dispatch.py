@@ -322,6 +322,10 @@ class ArrayBackend(Protocol):
 
     def lu_solve_batch(self, lu, piv, b, pivot: bool = True): ...
 
+    def qr_batch(self, a): ...
+
+    def svd_batch(self, a): ...
+
     def to_host(self, x) -> np.ndarray: ...
 
     def from_host(self, x): ...
@@ -363,6 +367,14 @@ class NumpyBackend:
 
     def lu_solve_batch(self, lu, piv, b, pivot: bool = True):
         return _lu_solve_batch(np, np.asarray(lu), piv, np.asarray(b), pivot=pivot)
+
+    def qr_batch(self, a):
+        # NumPy's qr vectorises over leading batch axes (one LAPACK call per
+        # problem at C level, no Python-loop bookkeeping per block)
+        return np.linalg.qr(np.asarray(a))
+
+    def svd_batch(self, a):
+        return np.linalg.svd(np.asarray(a), full_matrices=False)
 
     def to_host(self, x) -> np.ndarray:
         return np.asarray(x)
@@ -424,6 +436,18 @@ class CupyBackend:
 
     def lu_solve_batch(self, lu, piv, b, pivot: bool = True):  # pragma: no cover - requires cupy
         return _lu_solve_batch(self._cp, self._cp.asarray(lu), piv, self._cp.asarray(b), pivot=pivot)
+
+    def qr_batch(self, a):  # pragma: no cover - requires cupy
+        a = self._cp.asarray(a)
+        try:
+            return self._cp.linalg.qr(a)
+        except Exception:
+            # older cupy without batched qr: per-problem cuSOLVER calls
+            qs, rs = zip(*(self._cp.linalg.qr(a[i]) for i in range(a.shape[0])))
+            return self._cp.stack(qs), self._cp.stack(rs)
+
+    def svd_batch(self, a):  # pragma: no cover - requires cupy
+        return self._cp.linalg.svd(self._cp.asarray(a), full_matrices=False)
 
     def to_host(self, x) -> np.ndarray:  # pragma: no cover - requires cupy
         return self._cp.asnumpy(x)

@@ -21,10 +21,14 @@ from .low_rank import LowRankFactor
 from .compression import (
     CompressionConfig,
     compress_block,
+    compress_blocks_batched,
     svd_compress,
+    svd_compress_batched,
     rook_pivot_compress,
     randomized_compress,
+    randomized_compress_batched,
 )
+from .apply_plan import ApplyPlan
 from .hodlr import HODLRMatrix, build_hodlr, build_hodlr_from_dense
 from .bigdata import BigMatrices
 from .factor_recursive import RecursiveFactorization
@@ -59,9 +63,13 @@ __all__ = [
     "LowRankFactor",
     "CompressionConfig",
     "compress_block",
+    "compress_blocks_batched",
     "svd_compress",
+    "svd_compress_batched",
     "rook_pivot_compress",
     "randomized_compress",
+    "randomized_compress_batched",
+    "ApplyPlan",
     "HODLRMatrix",
     "build_hodlr",
     "build_hodlr_from_dense",

@@ -17,12 +17,18 @@ Algorithm 2 (solution)
     The same sweep applied to a right-hand side vector using the stored
     factorizations.
 
-This variant issues one ordinary LAPACK call per block (no batching); it is
-the single-threaded CPU execution of the paper's data structure, and it is
-the code path whose per-call shapes the batched GPU variant fuses.  The
-dense per-block primitives are routed through an
-:class:`~repro.backends.dispatch.ArrayBackend` so alternative array
-libraries plug in without changing the schedule.
+The level loops issue their per-block work through the shape-bucketed
+batched primitives (:func:`~repro.backends.batched.gemm_batched`,
+:func:`~repro.backends.batched.getrf_batched`,
+:func:`~repro.backends.batched.getrs_batched`): one planned launch per shape
+bucket per level, with the measured-crossover
+:class:`~repro.backends.dispatch.DispatchPolicy` deciding whether a bucket
+runs as a packed vectorised kernel or a tight per-block LAPACK loop.
+Passing :data:`~repro.backends.dispatch.LOOP_POLICY` reproduces the
+original one-LAPACK-call-per-block schedule exactly.  Unlike the
+``"batched"`` variant this one keeps per-node factor storage, records no
+kernel traces, and models no streams/transfers — it remains the paper's
+single-device CPU execution of the data structure.
 """
 
 from __future__ import annotations
@@ -32,7 +38,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..backends.dispatch import ArrayBackend, get_backend
+from ..backends.batched import BatchedLU, gemm_batched, getrf_batched, getrs_batched
+from ..backends.dispatch import ArrayBackend, DispatchPolicy, get_backend
 from .bigdata import BigMatrices
 
 
@@ -43,12 +50,17 @@ class FlatFactorization:
     data: BigMatrices
     #: array backend executing the per-block LU factorizations and solves
     backend: Optional[ArrayBackend] = None
+    #: bucketing policy for the batched primitives (``None`` = default)
+    policy: Optional[DispatchPolicy] = None
     #: Ybig overwrites Ubig during factorization (kept as a separate array so
     #: the original BigMatrices object can be reused).
     Ybig: Optional[np.ndarray] = None
     leaf_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     k_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     factored: bool = False
+    #: batched views of the stored factors, reused by every solve sweep
+    _leaf_batch: Optional[BatchedLU] = field(default=None, repr=False)
+    _k_batch: Dict[int, BatchedLU] = field(default_factory=dict, repr=False)
 
     def _backend(self) -> ArrayBackend:
         if self.backend is None:
@@ -62,56 +74,81 @@ class FlatFactorization:
         data = self.data
         tree = data.tree
         xb = self._backend()
+        pol = self.policy
         self.Ybig = data.Ubig.copy()  # line 1: Ybig overwrites Ubig
 
-        # lines 2-5: leaf diagonal blocks
-        for leaf in tree.leaves:
-            D = data.Dbig[leaf.index]
-            lu, piv = xb.lu_factor(D)
+        # lines 2-5: one batched LU over all leaf diagonal blocks, one
+        # batched substitution for their Ybig right-hand sides
+        leaves = tree.leaves
+        self._leaf_batch = getrf_batched(
+            [data.Dbig[leaf.index] for leaf in leaves], pivot=True, backend=xb, policy=pol
+        )
+        for leaf, lu, piv in zip(leaves, self._leaf_batch.lu, self._leaf_batch.piv):
             self.leaf_lu[leaf.index] = (lu, piv)
-            rows = data.node_rows(leaf)
-            if self.Ybig.shape[1]:
-                self.Ybig[rows, :] = xb.lu_solve(lu, piv, self.Ybig[rows, :])
+        if self.Ybig.shape[1]:
+            rhs = [self.Ybig[data.node_rows(leaf), :] for leaf in leaves]
+            sols = getrs_batched(self._leaf_batch, rhs, backend=xb, policy=pol)
+            for leaf, sol in zip(leaves, sols):
+                self.Ybig[data.node_rows(leaf), :] = sol
 
-        # lines 6-13: levels L-1 down to 0
+        # lines 6-13: levels L-1 down to 0, every node of a level at once
         for level in range(tree.levels - 1, -1, -1):
             child_level = level + 1
             r = data.rank_at_level(child_level)
             child_cols = data.level_cols(child_level)
             coarse_cols = data.cols_up_to(level)
-            for gamma in tree.level_nodes(level):
-                alpha, beta = tree.children(gamma)
-                rows_a = data.node_rows(alpha)
-                rows_b = data.node_rows(beta)
+            gammas = tree.level_nodes(level)
+            children = tree.level_nodes(child_level)
 
-                Ya = self.Ybig[rows_a, child_cols]
-                Yb = self.Ybig[rows_b, child_cols]
-                Va = data.Vbig[rows_a, child_cols]
-                Vb = data.Vbig[rows_b, child_cols]
+            if r == 0:
+                empty = np.zeros((0, 0), dtype=self.Ybig.dtype)
+                empty_piv = np.empty(0, int)
+                kb = BatchedLU(lu=[empty] * len(gammas), piv=[empty_piv] * len(gammas))
+                self._k_batch[level] = kb
+                for gamma in gammas:
+                    self.k_lu[gamma.index] = (empty, empty_piv)
+                continue
 
-                # line 9: K_gamma = [[Va* Ya, I], [I, Vb* Yb]]
-                K = np.zeros((2 * r, 2 * r), dtype=self.Ybig.dtype)
-                K[:r, :r] = Va.conj().T @ Ya
-                K[:r, r:] = np.eye(r, dtype=self.Ybig.dtype)
-                K[r:, :r] = np.eye(r, dtype=self.Ybig.dtype)
-                K[r:, r:] = Vb.conj().T @ Yb
-                lu, piv = xb.lu_factor(K) if r else (K, np.empty(0, int))
+            Y_blocks = [self.Ybig[data.node_rows(nd), child_cols] for nd in children]
+            V_blocks = [data.Vbig[data.node_rows(nd), child_cols] for nd in children]
+
+            # line 9: K_gamma = [[Va* Ya, I], [I, Vb* Yb]]; the V* Y products
+            # of the whole level run as one bucketed batched gemm
+            T_blocks = gemm_batched(
+                V_blocks, Y_blocks, conjugate_a=True, backend=xb, policy=pol
+            )
+            T3 = np.stack(T_blocks)
+            K3 = np.zeros((len(gammas), 2 * r, 2 * r), dtype=self.Ybig.dtype)
+            eye = np.eye(r, dtype=self.Ybig.dtype)
+            K3[:, :r, :r] = T3[0::2]
+            K3[:, :r, r:] = eye
+            K3[:, r:, :r] = eye
+            K3[:, r:, r:] = T3[1::2]
+            k_batch = getrf_batched(K3, pivot=True, backend=xb, policy=pol)
+            self._k_batch[level] = k_batch
+            for gamma, lu, piv in zip(gammas, k_batch.lu, k_batch.piv):
                 self.k_lu[gamma.index] = (lu, piv)
 
-                # lines 10-11: solve (13) and update (14) on the coarser columns
-                ncoarse = coarse_cols.stop - coarse_cols.start
-                if r == 0 or ncoarse == 0:
-                    continue
-                rhs = np.vstack(
-                    [
-                        Va.conj().T @ self.Ybig[rows_a, coarse_cols],
-                        Vb.conj().T @ self.Ybig[rows_b, coarse_cols],
-                    ]
-                )
-                W = xb.lu_solve(lu, piv, rhs)
-                Wa, Wb = W[:r], W[r:]
-                self.Ybig[rows_a, coarse_cols] -= Ya @ Wa
-                self.Ybig[rows_b, coarse_cols] -= Yb @ Wb
+            # lines 10-11: solve (13) and update (14) on the coarser columns
+            ncoarse = coarse_cols.stop - coarse_cols.start
+            if ncoarse == 0:
+                continue
+            Yc_blocks = [self.Ybig[data.node_rows(nd), coarse_cols] for nd in children]
+            rhs_blocks = gemm_batched(
+                V_blocks, Yc_blocks, conjugate_a=True, backend=xb, policy=pol
+            )
+            K_rhs = [
+                np.concatenate([rhs_blocks[2 * i], rhs_blocks[2 * i + 1]])
+                for i in range(len(gammas))
+            ]
+            W = getrs_batched(k_batch, K_rhs, backend=xb, policy=pol)
+            W_half = []
+            for i in range(len(gammas)):
+                W_half.append(W[i][:r])
+                W_half.append(W[i][r:])
+            updates = gemm_batched(Y_blocks, W_half, backend=xb, policy=pol)
+            for nd, upd in zip(children, updates):
+                self.Ybig[data.node_rows(nd), coarse_cols] -= upd
 
         self.factored = True
         return self
@@ -126,6 +163,7 @@ class FlatFactorization:
         data = self.data
         tree = data.tree
         xb = self._backend()
+        pol = self.policy
         b = np.asarray(b)
         if b.shape[0] != data.n:
             raise ValueError(f"right-hand side has {b.shape[0]} rows, expected {data.n}")
@@ -133,34 +171,43 @@ class FlatFactorization:
         x = np.array(b.reshape(-1, 1) if squeeze else b,
                      dtype=np.result_type(b.dtype, self.Ybig.dtype), copy=True)
 
-        # lines 2-4: leaf solves
-        for leaf in tree.leaves:
-            rows = data.node_rows(leaf)
-            lu, piv = self.leaf_lu[leaf.index]
-            x[rows] = xb.lu_solve(lu, piv, x[rows])
+        # lines 2-4: one batched substitution over all leaf blocks
+        leaves = tree.leaves
+        rhs = [x[data.node_rows(leaf)] for leaf in leaves]
+        sols = getrs_batched(self._leaf_batch, rhs, backend=xb, policy=pol)
+        for leaf, sol in zip(leaves, sols):
+            x[data.node_rows(leaf)] = sol
 
-        # lines 5-11: level sweep
+        # lines 5-11: level sweep — per level two batched gemms and one
+        # batched K substitution instead of a Python loop over nodes
         for level in range(tree.levels - 1, -1, -1):
             child_level = level + 1
             r = data.rank_at_level(child_level)
             if r == 0:
                 continue
             child_cols = data.level_cols(child_level)
-            for gamma in tree.level_nodes(level):
-                alpha, beta = tree.children(gamma)
-                rows_a = data.node_rows(alpha)
-                rows_b = data.node_rows(beta)
-                Ya = self.Ybig[rows_a, child_cols]
-                Yb = self.Ybig[rows_b, child_cols]
-                Va = data.Vbig[rows_a, child_cols]
-                Vb = data.Vbig[rows_b, child_cols]
+            gammas = tree.level_nodes(level)
+            children = tree.level_nodes(child_level)
 
-                rhs = np.vstack([Va.conj().T @ x[rows_a], Vb.conj().T @ x[rows_b]])
-                lu, piv = self.k_lu[gamma.index]
-                w = xb.lu_solve(lu, piv, rhs)
-                wa, wb = w[:r], w[r:]
-                x[rows_a] -= Ya @ wa
-                x[rows_b] -= Yb @ wb
+            Y_blocks = [self.Ybig[data.node_rows(nd), child_cols] for nd in children]
+            V_blocks = [data.Vbig[data.node_rows(nd), child_cols] for nd in children]
+            x_blocks = [x[data.node_rows(nd)] for nd in children]
+
+            w_blocks = gemm_batched(
+                V_blocks, x_blocks, conjugate_a=True, backend=xb, policy=pol
+            )
+            K_rhs = [
+                np.concatenate([w_blocks[2 * i], w_blocks[2 * i + 1]])
+                for i in range(len(gammas))
+            ]
+            w = getrs_batched(self._k_batch[level], K_rhs, backend=xb, policy=pol)
+            w_half = []
+            for i in range(len(gammas)):
+                w_half.append(w[i][:r])
+                w_half.append(w[i][r:])
+            updates = gemm_batched(Y_blocks, w_half, backend=xb, policy=pol)
+            for nd, upd in zip(children, updates):
+                x[data.node_rows(nd)] -= upd
 
         return x.ravel() if squeeze else x
 

@@ -20,18 +20,37 @@ Construction paths
 * :func:`build_hodlr_from_dense` — compress an explicitly stored matrix;
 * :func:`build_hodlr` — compress anything that can evaluate sub-blocks
   ``entries(rows, cols)`` (kernel matrices, BIE operators) without ever
-  forming the full matrix.
+  forming the full matrix.  The default ``construction="batched"`` runs
+  *level-major*: every off-diagonal block of a tree level is gathered with
+  one multi-block ``entries_blocks`` evaluation (when the source supports
+  it) and compressed through the shape-bucketed batched kernels;
+  ``construction="loop"`` is the node-major per-block baseline.
+
+Application paths
+-----------------
+``matvec`` walks the tree block by block.  :meth:`HODLRMatrix.
+build_apply_plan` compiles the bases into per-level shape buckets of
+strided 3-D storage once, after which every product is a handful of
+batched gemm launches — the path Krylov loops should use (see
+:class:`repro.core.apply_plan.ApplyPlan`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..backends.dispatch import ArrayBackend, DispatchPolicy, plan_batch
+from .apply_plan import ApplyPlan
 from .cluster_tree import ClusterTree, TreeNode
-from .compression import BlockEvaluator, CompressionConfig, compress_block
+from .compression import (
+    BlockEvaluator,
+    CompressionConfig,
+    compress_block,
+    compress_block_stack,
+)
 
 @dataclass
 class HODLRMatrix:
@@ -44,6 +63,9 @@ class HODLRMatrix:
     U: Dict[int, np.ndarray]
     #: non-root node index -> right basis V_alpha (rows = |I_alpha|)
     V: Dict[int, np.ndarray]
+    #: compiled bucketed apply plan (see :meth:`build_apply_plan`); not part
+    #: of the matrix value — excluded from comparison and repr
+    _apply_plan: Optional[ApplyPlan] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # basic properties
@@ -94,10 +116,53 @@ class HODLRMatrix:
         return max(self.rank_profile())
 
     # ------------------------------------------------------------------
+    # apply plan
+    # ------------------------------------------------------------------
+    def build_apply_plan(
+        self,
+        backend: Optional[ArrayBackend] = None,
+        force: bool = False,
+    ) -> ApplyPlan:
+        """Compile (and cache) the bucketed batched apply plan.
+
+        The plan packs the diagonal blocks and the ``U``/``V`` bases into
+        per-level shape buckets of strided 3-D storage **once**, so that
+        every subsequent :meth:`matvec` executes as a handful of batched
+        gemm launches instead of a Python loop over tree nodes.  Krylov
+        solvers amortise the packing cost across iterations
+        (:class:`repro.api.operator.HODLROperator` builds the plan lazily on
+        first application).
+
+        The cached plan is used automatically by :meth:`matvec`.  It
+        snapshots the current blocks — call :meth:`clear_apply_plan` (or
+        ``build_apply_plan(force=True)``) after mutating ``diag``/``U``/``V``
+        in place.
+        """
+        if self._apply_plan is None or force:
+            self._apply_plan = ApplyPlan(self, backend=backend)
+        return self._apply_plan
+
+    def clear_apply_plan(self) -> None:
+        """Drop the cached apply plan (after in-place block mutation)."""
+        self._apply_plan = None
+
+    @property
+    def apply_plan(self) -> Optional[ApplyPlan]:
+        """The cached apply plan, or ``None`` if not built."""
+        return self._apply_plan
+
+    # ------------------------------------------------------------------
     # arithmetic
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Multiply the HODLR matrix by a vector or a block of vectors."""
+        """Multiply the HODLR matrix by a vector or a block of vectors.
+
+        Uses the compiled bucketed apply plan when one has been built
+        (:meth:`build_apply_plan`); otherwise walks the tree one block at a
+        time.
+        """
+        if self._apply_plan is not None:
+            return self._apply_plan.matvec(x)
         x = np.asarray(x)
         squeeze = x.ndim == 1
         X = x.reshape(-1, 1) if squeeze else x
@@ -207,11 +272,84 @@ class HODLRMatrix:
 # ----------------------------------------------------------------------
 # construction
 # ----------------------------------------------------------------------
-def _dense_evaluator(A: np.ndarray) -> BlockEvaluator:
-    def entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        return A[np.ix_(rows, cols)]
+class _DenseEvaluator:
+    """Block evaluator over an explicitly stored matrix (gather-capable)."""
 
-    return entries
+    def __init__(self, A: np.ndarray) -> None:
+        self.A = A
+
+    def __call__(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.A[np.ix_(rows, cols)]
+
+    def entries_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.A[rows[:, :, None], cols[:, None, :]]
+
+
+def _resolve_evaluator(source):
+    """Split a source into ``(entries, entries_blocks-or-None)``.
+
+    Accepts a bare ``entries(rows, cols)`` callable or any object exposing
+    ``entries`` (e.g. a :class:`~repro.kernels.kernel_matrix.KernelMatrix`);
+    a multi-block gather evaluator is picked up when present.
+    """
+    if callable(source):
+        return source, getattr(source, "entries_blocks", None)
+    entries = getattr(source, "entries", None)
+    if callable(entries):
+        return entries, getattr(source, "entries_blocks", None)
+    raise TypeError(
+        f"cannot evaluate blocks of {type(source).__name__!r}: expected a dense "
+        "array, an entries(rows, cols) callable, or an object with .entries"
+    )
+
+
+def _probe_multi(multi, rows: np.ndarray) -> bool:
+    """Check once whether the multi-block evaluator actually broadcasts."""
+    if multi is None:
+        return False
+    k = min(2, rows.size)
+    try:
+        out = np.asarray(multi(rows[None, :k], rows[None, :k]))
+    except Exception:
+        return False
+    return out.shape == (1, k, k)
+
+
+#: cap on the entry count of one gathered block stack (~0.5 GB of float64);
+#: larger buckets are evaluated in chunks so peak memory stays bounded
+_MAX_GATHER_ELEMENTS = 1 << 26
+
+
+def _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
+    """Yield ``(indices, stack)`` chunks of equal-shape blocks.
+
+    Blocks sharing a shape are grouped into buckets and evaluated directly
+    into strided 3-D stacks — one vectorized ``multi`` call per chunk when a
+    gather evaluator is available (the ``points[rows]`` indexing and the
+    kernel function run once per chunk, not per block), a per-block
+    ``evaluator`` fallback otherwise.  Buckets larger than the gather cap
+    are split so peak memory stays bounded; each yielded stack is the only
+    materialisation of its blocks (consumers compress it in place and drop
+    it before the next chunk is evaluated).
+    """
+    nblocks = len(row_sets)
+    plan = plan_batch([(row_sets[i].size, col_sets[i].size) for i in range(nblocks)])
+    for bucket in plan.buckets:
+        m, n = bucket.key
+        per_chunk = max(1, _MAX_GATHER_ELEMENTS // max(1, m * n))
+        idx = bucket.indices
+        for start in range(0, len(idx), per_chunk):
+            chunk = idx[start : start + per_chunk]
+            if multi is not None:
+                rows2 = np.stack([row_sets[i] for i in chunk])
+                cols2 = np.stack([col_sets[i] for i in chunk])
+                stack = np.asarray(multi(rows2, cols2), dtype=dtype)
+            else:
+                stack = np.stack(
+                    [np.asarray(evaluator(row_sets[i], col_sets[i]), dtype=dtype)
+                     for i in chunk]
+                )
+            yield chunk, stack
 
 
 def build_hodlr(
@@ -222,32 +360,44 @@ def build_hodlr(
     method: Optional[str] = None,
     max_rank: Optional[int] = None,
     dtype=None,
+    backend: Optional[ArrayBackend] = None,
+    dispatch_policy: Optional[DispatchPolicy] = None,
 ) -> HODLRMatrix:
     """Build a HODLR approximation of ``source`` over ``tree``.
 
     Parameters
     ----------
     source:
-        Either a dense ``(n, n)`` array or a callable
-        ``entries(rows, cols) -> ndarray`` that evaluates arbitrary
-        sub-blocks of the operator.
+        A dense ``(n, n)`` array, a callable ``entries(rows, cols) ->
+        ndarray`` evaluating arbitrary sub-blocks of the operator, or an
+        object exposing ``entries`` (and optionally the multi-block
+        ``entries_blocks`` gather evaluator, e.g. a
+        :class:`~repro.kernels.kernel_matrix.KernelMatrix`).
     tree:
         The cluster tree defining the tessellation.
     config:
         Compression options; individual keyword overrides (``tol``,
         ``method``, ``max_rank``) take precedence over the config fields.
+        ``config.construction`` selects the level-major batched schedule
+        (default) or the node-major per-block loop.
     dtype:
         Storage dtype; defaults to the dtype produced by the evaluator.
+    backend, dispatch_policy:
+        Array backend and bucketing policy for the batched construction
+        kernels (``None`` = NumPy with the default policy).
     """
     if config is None:
         config = CompressionConfig()
     if tol is not None or method is not None or max_rank is not None:
-        config = CompressionConfig(
+        config = dc_replace(
+            config,
             tol=tol if tol is not None else config.tol,
             max_rank=max_rank if max_rank is not None else config.max_rank,
             method=method if method is not None else config.method,
-            oversampling=config.oversampling,
-            rng=config.rng,
+        )
+    if config.construction not in ("batched", "loop"):
+        raise ValueError(
+            f"construction must be 'batched' or 'loop', got {config.construction!r}"
         )
 
     if isinstance(source, np.ndarray):
@@ -255,15 +405,27 @@ def build_hodlr(
             raise ValueError(
                 f"dense source has shape {source.shape}, expected {(tree.n, tree.n)}"
             )
-        evaluator = _dense_evaluator(source)
+        evaluator, multi = _resolve_evaluator(_DenseEvaluator(source))
         if dtype is None:
             dtype = source.dtype
     else:
-        evaluator = source
+        evaluator, multi = _resolve_evaluator(source)
         if dtype is None:
             probe = np.asarray(evaluator(np.array([0]), np.array([0])))
             dtype = probe.dtype
 
+    if config.construction == "loop":
+        return _build_hodlr_loop(evaluator, tree, config, dtype)
+    if not _probe_multi(multi, tree.leaves[0].indices):
+        multi = None
+    return _build_hodlr_batched(
+        evaluator, multi, tree, config, dtype, backend, dispatch_policy
+    )
+
+
+def _build_hodlr_loop(evaluator, tree, config, dtype) -> HODLRMatrix:
+    """Node-major per-block construction (the seed schedule, kept as the
+    ``construction="loop"`` baseline and measured against by the benchmarks)."""
     diag: Dict[int, np.ndarray] = {}
     U: Dict[int, np.ndarray] = {}
     V: Dict[int, np.ndarray] = {}
@@ -292,6 +454,66 @@ def build_hodlr(
             V[right.index] = lr.V
             U[right.index] = rl.U
             V[left.index] = rl.V
+
+    return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
+
+
+def _build_hodlr_batched(
+    evaluator, multi, tree, config, dtype, backend, policy
+) -> HODLRMatrix:
+    """Level-major batched construction.
+
+    Per tree level: one gathered evaluation of all sibling off-diagonal
+    blocks (bucketed by shape) followed by one batched compression per shape
+    bucket.  ``method="rook"`` keeps its entrywise-lazy per-block
+    compression — materialising the blocks would defeat the
+    ``O((m + n) r)``-entries property — but the diagonal blocks still
+    benefit from the gathered evaluation.
+    """
+    diag: Dict[int, np.ndarray] = {}
+    U: Dict[int, np.ndarray] = {}
+    V: Dict[int, np.ndarray] = {}
+
+    # leaf diagonal blocks: one gather per leaf-size bucket
+    leaves = tree.leaves
+    leaf_rows = [leaf.indices for leaf in leaves]
+    for chunk, stack in _gather_chunks(evaluator, multi, leaf_rows, leaf_rows, dtype):
+        for j, i in enumerate(chunk):
+            diag[leaves[i].index] = stack[j]
+
+    lazy = config.method == "rook"
+    for level in range(1, tree.levels + 1):
+        row_nodes: List[TreeNode] = []
+        col_nodes: List[TreeNode] = []
+        for left, right in tree.sibling_pairs(level):
+            # A(I_left, I_right) = U_left V_right^* and its mirror image
+            row_nodes += [left, right]
+            col_nodes += [right, left]
+
+        factors: List = [None] * len(row_nodes)
+        if lazy:
+            for i, (rn, cn) in enumerate(zip(row_nodes, col_nodes)):
+
+                def block_eval(r, c, _rr=rn.indices, _cc=cn.indices):
+                    return evaluator(_rr[r], _cc[c])
+
+                factors[i] = compress_block(block_eval, rn.size, cn.size, config, dtype=dtype)
+        else:
+            # each shape-bucket chunk is materialised once as a strided stack
+            # and compressed in place — no per-block intermediate copies
+            row_sets = [nd.indices for nd in row_nodes]
+            col_sets = [nd.indices for nd in col_nodes]
+            rng = config.generator()
+            for chunk, stack in _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
+                compressed = compress_block_stack(
+                    stack, config, backend=backend, policy=policy, rng=rng
+                )
+                for i, f in zip(chunk, compressed):
+                    factors[i] = f
+
+        for rn, cn, f in zip(row_nodes, col_nodes, factors):
+            U[rn.index] = f.U
+            V[cn.index] = f.V
 
     return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
 

@@ -173,7 +173,7 @@ class HODLRSolver:
         elif self.variant == "flat":
             self._bigdata = BigMatrices.from_hodlr(self.hodlr)
             self._impl = FlatFactorization(
-                data=self._bigdata, backend=array_backend
+                data=self._bigdata, backend=array_backend, policy=self.backend.policy
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         else:

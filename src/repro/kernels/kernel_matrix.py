@@ -56,9 +56,91 @@ class KernelMatrix:
         cols = np.asarray(cols, dtype=int)
         block = np.asarray(self.kernel(self.points[rows], self.points[cols]))
         if self.diagonal_shift:
-            same = rows[:, None] == cols[None, :]
-            block = block + self.diagonal_shift * same
+            block = self._apply_diagonal_shift(block, rows, cols)
         return block
+
+    def _shift_positions(self, rows: np.ndarray, cols: np.ndarray):
+        """``(i, j)`` positions where ``rows[i] == cols[j]``, or ``None``.
+
+        Off-diagonal HODLR blocks have disjoint index ranges, so the common
+        case is detected with two min/max comparisons and costs nothing; the
+        overlapping case locates the (sparse) intersection with a sort +
+        binary search instead of materialising the ``O(m n)`` equality mask
+        (which survives only as the duplicate-column fallback).
+        """
+        if rows.size == 0 or cols.size == 0:
+            return None
+        if rows.max() < cols.min() or cols.max() < rows.min():
+            return None
+        order = np.argsort(cols, kind="stable")
+        sorted_cols = cols[order]
+        if sorted_cols.size > 1 and np.any(sorted_cols[1:] == sorted_cols[:-1]):
+            # duplicate column indices: every matching position must receive
+            # the shift, which the binary search below cannot express
+            ii, jj = np.nonzero(rows[:, None] == cols[None, :])
+            return (ii, jj) if ii.size else None
+        pos = np.minimum(np.searchsorted(sorted_cols, rows), sorted_cols.size - 1)
+        hit = sorted_cols[pos] == rows
+        if not np.any(hit):
+            return None
+        return np.nonzero(hit)[0], order[pos[hit]]
+
+    def _apply_diagonal_shift(
+        self, block: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Add ``diagonal_shift`` where ``rows[i] == cols[j]``.
+
+        Never mutates ``block`` (the kernel may return a cached or shared
+        array): a new array is returned whenever a shift is applied.
+        """
+        positions = self._shift_positions(rows, cols)
+        if positions is None:
+            return block
+        block = block.copy()
+        block[positions[0], positions[1]] += self.diagonal_shift
+        return block
+
+    def entries_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Evaluate a stack of equal-shape sub-blocks in one kernel call.
+
+        ``rows`` has shape ``(B, m)`` and ``cols`` shape ``(B, n)``; the
+        result is the ``(B, m, n)`` stack of blocks
+        ``K[rows[b], cols[b]]``.  The ``points[rows]`` gather happens once
+        for the whole stack and the kernel function is invoked a single time
+        on the batched point blocks, which is what makes level-major HODLR
+        construction one vectorized evaluation per tree level instead of one
+        per block.  Raises :class:`ValueError` if the bound kernel does not
+        broadcast over stacked point blocks (callers fall back to
+        :meth:`entries` per block).
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.ndim != 2 or cols.ndim != 2 or rows.shape[0] != cols.shape[0]:
+            raise ValueError(
+                f"entries_blocks expects (B, m) rows and (B, n) cols, got "
+                f"{rows.shape} and {cols.shape}"
+            )
+        blocks = np.asarray(self.kernel(self.points[rows], self.points[cols]))
+        expected = (rows.shape[0], rows.shape[1], cols.shape[1])
+        if blocks.shape != expected:
+            raise ValueError(
+                f"kernel {self.kernel!r} does not broadcast over point blocks: "
+                f"expected {expected}, got {blocks.shape}"
+            )
+        if self.diagonal_shift:
+            hits = [
+                (b, self._shift_positions(rows[b], cols[b]))
+                for b in range(rows.shape[0])
+            ]
+            hits = [(b, p) for b, p in hits if p is not None]
+            if hits:
+                # one copy of the stack, shifts applied in place on the owned
+                # copy — never write into the kernel's array (it may be
+                # cached/shared, or read-only e.g. a broadcast)
+                blocks = blocks.copy()
+                for b, (ii, jj) in hits:
+                    blocks[b, ii, jj] += self.diagonal_shift
+        return blocks
 
     def dense(self) -> np.ndarray:
         return self.entries(np.arange(self.n), np.arange(self.n))
@@ -85,6 +167,7 @@ class KernelMatrix:
         method: str = "rook",
         max_rank: Optional[int] = None,
         reorder: bool = True,
+        construction: str = "batched",
     ) -> Tuple[HODLRMatrix, np.ndarray]:
         """Build a HODLR approximation of the kernel matrix.
 
@@ -92,6 +175,8 @@ class KernelMatrix:
         the points: the HODLR matrix approximates ``K[perm][:, perm]``.  When
         ``reorder=False`` the natural point order is used (appropriate when
         the points already follow a space-filling order, e.g. a contour).
+        ``construction="batched"`` (default) builds level-major through the
+        batched kernels; ``"loop"`` is the per-block baseline.
         """
         if reorder:
             tree, perm = ClusterTree.from_points(self.points, leaf_size=leaf_size)
@@ -102,6 +187,10 @@ class KernelMatrix:
         permuted = KernelMatrix(
             kernel=self.kernel, points=self.points[perm], diagonal_shift=self.diagonal_shift
         )
-        config = CompressionConfig(tol=tol, max_rank=max_rank, method=method)
-        hodlr = build_hodlr(permuted.entries, tree, config=config)
+        config = CompressionConfig(
+            tol=tol, max_rank=max_rank, method=method, construction=construction
+        )
+        # the KernelMatrix itself is passed (not just ``entries``) so the
+        # builder can use the gather-based multi-block evaluator
+        hodlr = build_hodlr(permuted, tree, config=config)
         return hodlr, perm

@@ -21,14 +21,21 @@ from scipy.special import gamma, kv
 
 
 def pairwise_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix between two point sets, shape ``(|X|, |Y|)``."""
+    """Euclidean distance matrix between two point sets, shape ``(|X|, |Y|)``.
+
+    Points live on the *last* axis; leading axes broadcast, so a stack of
+    point blocks ``(B, m, d)`` against ``(B, n, d)`` yields the ``(B, m, n)``
+    stack of distance matrices in one call.  This is what lets the
+    level-major HODLR construction evaluate every off-diagonal block of a
+    tree level with a single kernel invocation.
+    """
     X = np.atleast_2d(np.asarray(X, dtype=float))
     Y = np.atleast_2d(np.asarray(Y, dtype=float))
     # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped for round-off
     sq = (
-        np.sum(X * X, axis=1)[:, None]
-        + np.sum(Y * Y, axis=1)[None, :]
-        - 2.0 * (X @ Y.T)
+        np.sum(X * X, axis=-1)[..., :, None]
+        + np.sum(Y * Y, axis=-1)[..., None, :]
+        - 2.0 * np.matmul(X, np.swapaxes(Y, -1, -2))
     )
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq)
