@@ -1,21 +1,27 @@
-"""Record the repo's measured perf trajectory: ``BENCH_pr3.json``.
+"""Record the repo's measured perf trajectory: ``BENCH_pr4.json``.
 
-Times the three hot paths this PR batched — HODLR **construction**, the
+Times the hot paths of the batched pipeline — HODLR **construction**, the
 **matvec/GMRES apply loop**, and the **end-to-end solve** — for the
 ``gaussian_kernel`` and ``rpy_mobility`` workloads, each against the
 per-block loop baseline (``construction="loop"`` / the un-compiled tree
-walk), and writes the rows to a ``BENCH_*.json`` file at the repository
-root so future PRs have a trajectory to compare against.
+walk), and — new in PR 4 — the **mixed-precision apply plan**: the
+float32 (half-traffic) plan against the float64 plan for the
+memory-bandwidth-bound single-vector matvec, plus the iterative-refinement
+residual check (a float32 factorization with one refinement step must
+match the float64 solve residual to 1e-10).  Rows land in a
+``BENCH_*.json`` file at the repository root so future PRs have a
+trajectory to compare against.
 
 Usage::
 
-    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr3.json
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr4.json
     python benchmarks/record_bench.py --smoke         # CI perf-smoke sizes
     python benchmarks/record_bench.py --output out.json
 
-The full run reproduces the PR-3 acceptance numbers: batched construction
-of an N=16384 Gaussian-kernel HODLR and a 50-iteration GMRES apply loop,
-each vs. the loop path on the same machine.
+The full run reproduces the PR-4 acceptance numbers: the float32 apply
+plan >= 1.5x over the float64 plan for single-vector matvec at N=16384,
+and refined float32 solve residuals matching the float64 residuals to
+1e-10 (on top of the PR-3 batched-vs-loop trajectory).
 """
 
 from __future__ import annotations
@@ -32,8 +38,9 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import repro  # noqa: E402
+from repro import ApplyPlan, ExecutionContext, HODLROperator, PrecisionPolicy  # noqa: E402
 from repro.api import CompressionConfig, SolverConfig  # noqa: E402
-from repro.kernels import GaussianKernel, KernelMatrix  # noqa: E402
+from repro.kernels import GaussianKernel, KernelMatrix, MaternKernel  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
@@ -178,6 +185,123 @@ def bench_gmres(H, iters=50, **params):
     return row
 
 
+def build_highrank_matrix(n, tol=1e-10, leaf_size=256):
+    """The memory-bandwidth-bound operator for the mixed-precision benchmark.
+
+    Matern nu=3/2 covariance at direct-solver accuracy: per-level ranks in
+    the hundreds, a packed plan of hundreds of MB — every single-vector
+    product streams the whole plan once at tiny arithmetic intensity, which
+    is exactly the regime the ROADMAP flagged as bandwidth-bound (and where
+    halving the bytes should halve the time).
+    """
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-1.0, 1.0, size=(n, 2))
+    km = KernelMatrix(
+        kernel=MaternKernel(lengthscale=0.5, nu=1.5), points=points, diagonal_shift=1.0
+    )
+    H, _ = km.to_hodlr(leaf_size=leaf_size, tol=tol, method="randomized",
+                       construction="batched")
+    return H
+
+
+def bench_precision_apply(H, iters=50, label="float32_plan_matvec",
+                          min_speedup=None, **params):
+    """Single-vector matvec loop: float32 (half-traffic) plan vs float64 plan.
+
+    The single-vector apply streams the whole packed plan storage once per
+    product at tiny arithmetic intensity — the ROADMAP's memory-bandwidth
+    bound.  The float32 plan halves the streamed bytes; products accumulate
+    into float64, so the output dtype is unchanged.  ``min_speedup`` (full
+    runs only) asserts the acceptance threshold.
+    """
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal(H.n)
+    ctx32 = ExecutionContext(precision=PrecisionPolicy(plan="float32"))
+    plan64 = ApplyPlan(H)
+    plan32 = ApplyPlan(H, context=ctx32)
+
+    def run(plan):
+        v = x
+        for _ in range(iters):
+            v = plan.matvec(v)
+            v = v / np.linalg.norm(v)
+        return v
+
+    t64, t32, v64, v32 = _timed_pair_best(lambda: run(plan64), lambda: run(plan32))
+    rel = float(np.linalg.norm(v32 - v64) / np.linalg.norm(v64))
+    row = {
+        "float32_s": round(t32, 4),
+        "float64_s": round(t64, 4),
+        "speedup": round(t64 / t32, 2) if t32 > 0 else None,
+        "n": H.n,
+        "iters": iters,
+        "plan_mb_float64": round(plan64.nbytes / 1e6, 1),
+        "plan_mb_float32": round(plan32.nbytes / 1e6, 1),
+        "max_rank": H.max_rank,
+        "agreement": rel,
+    }
+    row.update(params)
+    print(
+        f"  {label + '_' + str(iters) + 'it':<38s} "
+        f"float32 {t32:8.3f}s   float64 {t64:8.3f}s   speedup {row['speedup']:.2f}x"
+    )
+    # float32-plan products agree to single-precision accuracy
+    assert rel < 1e-4, f"float32 plan diverged from float64 plan: {rel}"
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"float32 plan speedup {row['speedup']} below the {min_speedup}x threshold"
+        )
+    return row
+
+
+def bench_refined_solve(n, tol=1e-10):
+    """Iterative-refinement residual check (the PR-4 acceptance criterion).
+
+    A float32-storage factorization with one refinement step must return
+    residuals matching the float64 factorization to 1e-10, while the plain
+    float32 solve sits at single-precision residuals.
+    """
+    km = _gaussian_km(n)
+    H, _ = km.to_hodlr(leaf_size=64, tol=tol, method="randomized",
+                       construction="batched")
+    rng = np.random.default_rng(6)
+    b = rng.standard_normal(n)
+
+    def relres(x):
+        x64 = np.asarray(x, dtype=np.float64)
+        r = np.asarray(H.matvec(x64)) - b
+        return float(np.linalg.norm(r) / np.linalg.norm(b))
+
+    t64, x64 = _timed(lambda: HODLROperator(H).solve(b))
+    t32, x32 = _timed(
+        lambda: HODLROperator(H, precision=PrecisionPolicy(storage="float32")).solve(b)
+    )
+    tref, xref = _timed(
+        lambda: HODLROperator(
+            H, precision=PrecisionPolicy(storage="float32", refine=True)
+        ).solve(b)
+    )
+    res64, res32, res_ref = relres(x64), relres(x32), relres(xref)
+    row = {
+        "n": n,
+        "relres_float64": res64,
+        "relres_float32": res32,
+        "relres_float32_refined": res_ref,
+        "residual_match_vs_float64": abs(res_ref - res64),
+        "factor_and_solve_float64_s": round(t64, 4),
+        "factor_and_solve_float32_s": round(t32, 4),
+        "factor_and_solve_refined_s": round(tref, 4),
+    }
+    print(
+        f"  {'refined_float32_solve':<38s} relres f64 {res64:.2e}   "
+        f"f32 {res32:.2e}   refined {res_ref:.2e}"
+    )
+    assert abs(res_ref - res64) < 1e-10, (
+        f"refined residual {res_ref} does not match float64 residual {res64}"
+    )
+    return row
+
+
 def bench_end_to_end(problem, iters=1, **params):
     """``repro.solve`` wall-clock (assemble + factorize + solve), batched vs loop."""
 
@@ -204,15 +328,16 @@ def main(argv=None):
     ap.add_argument("--smoke", action="store_true",
                     help="reduced sizes for the CI perf-smoke job")
     ap.add_argument("--output", default=None,
-                    help="output path (default: BENCH_pr3.json at the repo root, "
+                    help="output path (default: BENCH_pr4.json at the repo root, "
                          "BENCH_smoke.json with --smoke)")
     args = ap.parse_args(argv)
 
     n_construct = 2048 if args.smoke else 16384
     n_e2e = 1024 if args.smoke else 4096
+    n_refine = 1024 if args.smoke else 4096
     rpy_particles = 96 if args.smoke else 400
     out_path = args.output or os.path.join(
-        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr3.json"
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr4.json"
     )
 
     print(f"recording {'smoke' if args.smoke else 'full'} benchmark "
@@ -228,6 +353,25 @@ def main(argv=None):
     benchmarks["gaussian_gmres_apply_loop"] = bench_gmres(
         H, iters=50, tol=1e-4, leaf_size=32
     )
+    benchmarks["gaussian_float32_plan_matvec_lowrank"] = bench_precision_apply(
+        H, iters=50, label="float32_plan_lowrank", tol=1e-4, leaf_size=32
+    )
+    # the acceptance-criterion row: high-rank, bandwidth-bound apply
+    H_hi = build_highrank_matrix(
+        n_construct,
+        tol=1e-8 if args.smoke else 1e-10,
+        leaf_size=64 if args.smoke else 256,
+    )
+    benchmarks["matern_float32_plan_matvec"] = bench_precision_apply(
+        H_hi,
+        iters=50,
+        label="float32_plan_matvec",
+        min_speedup=None if args.smoke else 1.5,
+        tol=1e-8 if args.smoke else 1e-10,
+        leaf_size=64 if args.smoke else 256,
+    )
+    del H_hi
+    benchmarks["gaussian_refined_float32_solve"] = bench_refined_solve(n_refine)
     benchmarks["gaussian_end_to_end"] = bench_end_to_end(
         "gaussian_kernel", n=n_e2e
     )
@@ -237,13 +381,14 @@ def main(argv=None):
 
     payload = {
         "meta": {
-            "pr": 3,
+            "pr": 4,
             "smoke": bool(args.smoke),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "description": "batched level-parallel construction + compiled "
-                           "apply plan vs per-block loop baselines",
+            "description": "mixed-precision apply plan (float32 half-traffic) "
+                           "+ refined float32 solves, alongside the PR-3 "
+                           "batched-vs-loop trajectory",
         },
         "benchmarks": benchmarks,
     }

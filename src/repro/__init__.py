@@ -64,13 +64,18 @@ from .core.bigdata import BigMatrices
 from .core.factor_recursive import RecursiveFactorization
 from .core.factor_flat import FlatFactorization
 from .core.factor_batched import BatchedFactorization
-from .core.solver import HODLRSolver
+from .core.solver import (
+    HODLRSolver,
+    available_solver_variants,
+    register_solver_variant,
+)
 from .core.spd import SymmetricFactorization
 from .core.preconditioner import HODLRPreconditioner, gmres_with_hodlr, cg_with_hodlr
 from .core import arithmetic
 from .core.peeling import peel_hodlr
 
 from .backends.batched import BatchedBackend
+from .backends.context import ExecutionContext, PrecisionPolicy, resolve_context
 from .backends.dispatch import (
     ArrayBackend,
     BatchPlanner,
@@ -79,6 +84,7 @@ from .backends.dispatch import (
     available_backends,
     get_backend,
     plan_batch,
+    plan_batch_padded,
     register_backend,
 )
 from .backends.memory import DeviceMemoryTracker, hodlr_device_footprint, max_problem_size
@@ -160,6 +166,8 @@ __all__ = [
     "FlatFactorization",
     "BatchedFactorization",
     "HODLRSolver",
+    "available_solver_variants",
+    "register_solver_variant",
     "SymmetricFactorization",
     "HODLRPreconditioner",
     "gmres_with_hodlr",
@@ -170,11 +178,15 @@ __all__ = [
     "ArrayBackend",
     "BatchPlanner",
     "DispatchPolicy",
+    "ExecutionContext",
+    "PrecisionPolicy",
     "NumpyBackend",
     "available_backends",
     "get_backend",
     "plan_batch",
+    "plan_batch_padded",
     "register_backend",
+    "resolve_context",
     "BatchedBackend",
     "DeviceMemoryTracker",
     "hodlr_device_footprint",

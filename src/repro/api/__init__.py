@@ -19,6 +19,7 @@ One stable front door over the whole library:
 >>> result = repro.solve("gaussian_kernel", config=cfg, n=512)   # doctest: +SKIP
 """
 
+from ..backends.context import ExecutionContext, PrecisionPolicy
 from .config import (
     COMPRESSION_METHODS,
     VARIANTS,
@@ -45,6 +46,8 @@ __all__ = [
     "VARIANTS",
     "CompressionConfig",
     "ConfigError",
+    "ExecutionContext",
+    "PrecisionPolicy",
     "SolverConfig",
     "AssembledProblem",
     "Problem",

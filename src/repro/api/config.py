@@ -36,14 +36,19 @@ from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
+from ..backends.context import ExecutionContext, PrecisionPolicy
 from ..backends.dispatch import DispatchPolicy
 from ..bie.proxy import ProxyCompressionConfig
 from ..core.compression import CompressionConfig as CoreCompressionConfig
+from ..core.solver import available_solver_variants
 
 #: compression methods the facade accepts (``proxy`` needs a BIE-style operator)
 COMPRESSION_METHODS = ("svd", "rook", "randomized", "proxy")
 
-#: factorization variants (mirrors ``repro.core.solver._VARIANTS``)
+#: built-in factorization variants (mirrors ``repro.core.solver._VARIANTS``);
+#: registered baseline variants (``dense_lu``, ``block_sparse``,
+#: ``hodlrlib_cpu``, ...) are additionally accepted — see
+#: :func:`repro.core.solver.register_solver_variant`
 VARIANTS = ("recursive", "flat", "batched")
 
 #: HODLR construction schedules (level-major batched vs per-block loop)
@@ -205,6 +210,11 @@ class SolverConfig:
         emulated CUDA streams.
     compression:
         Nested :class:`CompressionConfig` (accepts a dict form too).
+    precision:
+        Nested :class:`~repro.backends.context.PrecisionPolicy` (accepts a
+        dict form too): apply-plan dtype demotion, accumulation dtype, and
+        iterative-refinement for direct solves.  ``precision.storage``
+        defaults to ``dtype`` when unset, so the two spellings agree.
     """
 
     variant: str = "batched"
@@ -214,11 +224,13 @@ class SolverConfig:
     pivot: bool = True
     stream_cutoff: int = 4
     compression: CompressionConfig = field(default_factory=CompressionConfig)
+    precision: PrecisionPolicy = field(default_factory=PrecisionPolicy)
 
     def __post_init__(self) -> None:
         _check(
-            self.variant in VARIANTS,
-            f"variant must be one of {VARIANTS}, got {self.variant!r}",
+            self.variant in VARIANTS or self.variant in available_solver_variants(),
+            f"variant must be one of {tuple(available_solver_variants())}, "
+            f"got {self.variant!r}",
         )
         _check(
             isinstance(self.backend, str) and bool(self.backend),
@@ -244,11 +256,65 @@ class SolverConfig:
             isinstance(self.compression, CompressionConfig),
             f"compression must be a CompressionConfig, got {self.compression!r}",
         )
+        if isinstance(self.precision, Mapping):
+            try:
+                object.__setattr__(self, "precision", PrecisionPolicy(**self.precision))
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(str(exc)) from exc
+        _check(
+            isinstance(self.precision, PrecisionPolicy),
+            f"precision must be a PrecisionPolicy, got {self.precision!r}",
+        )
+        _check(
+            self.precision.storage is None
+            or self.dtype is None
+            or self.precision.storage == self.dtype,
+            f"dtype={self.dtype!r} conflicts with precision.storage="
+            f"{self.precision.storage!r}",
+        )
 
     @property
     def numpy_dtype(self) -> Optional[np.dtype]:
-        """The dtype override as a ``np.dtype`` (or ``None``)."""
-        return None if self.dtype is None else np.dtype(self.dtype)
+        """The storage dtype override as a ``np.dtype`` (or ``None``)."""
+        name = self.dtype if self.dtype is not None else self.precision.storage
+        return None if name is None else np.dtype(name)
+
+    def execution_context(self) -> ExecutionContext:
+        """The :class:`~repro.backends.context.ExecutionContext` this config
+        describes: backend resolved by name, dispatch policy, and the
+        precision policy (with ``dtype`` folded into ``precision.storage``).
+
+        This is the object the facade threads through construction,
+        factorization, and apply.  Resolution happens here — a missing
+        backend dependency (e.g. ``backend="cupy"`` without cupy) raises at
+        context-creation time.
+        """
+        precision = self.precision
+        if precision.storage is None and self.dtype is not None:
+            precision = replace(precision, storage=self.dtype)
+        return ExecutionContext(
+            backend=self.backend,
+            policy=self.dispatch_policy
+            if self.dispatch_policy is not None
+            else DispatchPolicy(),
+            precision=precision,
+        )
+
+    def construction_context(self) -> ExecutionContext:
+        """The context the facade hands to HODLR *construction*.
+
+        Identical to :meth:`execution_context` except that the storage
+        dtype override is cleared: the approximation is built at the
+        problem's natural dtype and the cast happens at factorization time.
+        This keeps a full-precision base operator around, which is what
+        iterative refinement (``precision.refine``) computes residuals
+        against, and preserves the sticky dtype-promotion semantics of
+        :class:`~repro.api.operator.HODLROperator`.
+        """
+        ctx = self.execution_context()
+        if ctx.precision.storage is None:
+            return ctx
+        return ctx.replace(precision=replace(ctx.precision, storage=None))
 
     # -- immutability helpers ------------------------------------------------
     def replace(self, **changes: Any) -> "SolverConfig":
@@ -283,6 +349,7 @@ class SolverConfig:
             "pivot": self.pivot,
             "stream_cutoff": self.stream_cutoff,
             "compression": self.compression.to_dict(),
+            "precision": asdict(self.precision),
         }
 
     @classmethod

@@ -28,7 +28,7 @@ solves) rather than one solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -79,9 +79,14 @@ class SolveResult:
         return self.operator.stats
 
 
-def _coerce_config(config: Optional[Union[SolverConfig, Mapping]]) -> SolverConfig:
+def _coerce_config(
+    config: Optional[Union[SolverConfig, Mapping]], problem: Any = None
+) -> SolverConfig:
     if config is None:
-        return SolverConfig()
+        # a resolved problem may carry its own default (e.g. the BIE
+        # problems default to proxy compression, complex-aware settings)
+        default = getattr(problem, "default_config", None)
+        return default if isinstance(default, SolverConfig) else SolverConfig()
     if isinstance(config, SolverConfig):
         return config
     if isinstance(config, Mapping):
@@ -89,12 +94,15 @@ def _coerce_config(config: Optional[Union[SolverConfig, Mapping]]) -> SolverConf
     raise ConfigError(f"config must be a SolverConfig, a dict, or None, got {config!r}")
 
 
-def assemble(
-    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
-) -> AssembledProblem:
-    """Resolve any accepted ``problem`` spelling to an :class:`AssembledProblem`."""
-    config = _coerce_config(config)
-    comp = config.compression
+def _resolve_problem(
+    problem: ProblemLike, config, problem_params: dict
+) -> Tuple[Any, SolverConfig]:
+    """Instantiate a named problem and settle the effective config.
+
+    The problem is resolved *before* the config so that, when no config was
+    passed, the problem's ``default_config`` (see
+    :func:`repro.get_problem`) applies.
+    """
     if isinstance(problem, str):
         problem = get_problem(problem, **problem_params)
     elif problem_params:
@@ -103,6 +111,15 @@ def assemble(
             f"problem name, got problem={type(problem).__name__} with "
             f"params {sorted(problem_params)}"
         )
+    return problem, _coerce_config(config, problem)
+
+
+def assemble(
+    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
+) -> AssembledProblem:
+    """Resolve any accepted ``problem`` spelling to an :class:`AssembledProblem`."""
+    problem, config = _resolve_problem(problem, config, problem_params)
+    comp = config.compression
     if isinstance(problem, AssembledProblem):
         return problem
     if isinstance(problem, HODLRMatrix):
@@ -118,7 +135,9 @@ def assemble(
         if comp.method == "proxy":
             raise ConfigError("method='proxy' needs a BIE operator, not a dense matrix")
         tree = ClusterTree.balanced(A.shape[0], leaf_size=comp.leaf_size)
-        hodlr = build_hodlr(A, tree, config=comp.core_config())
+        hodlr = build_hodlr(
+            A, tree, config=comp.core_config(), context=config.construction_context()
+        )
         return AssembledProblem(
             name="dense", hodlr=hodlr, operator=lambda x, _A=A: _A @ x
         )
@@ -159,8 +178,8 @@ def build_operator(
     permutation of the problem is carried on the operator and conjugated
     away on every matvec/solve.
     """
-    config = _coerce_config(config)
-    assembled = assemble(problem, config, **problem_params)
+    problem, config = _resolve_problem(problem, config, problem_params)
+    assembled = assemble(problem, config)
     return _operator_for(assembled, config)
 
 
@@ -195,8 +214,8 @@ def solve(
         raise ValueError(
             f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
         )
-    config = _coerce_config(config)
-    assembled = assemble(problem, config, **problem_params)
+    problem, config = _resolve_problem(problem, config, problem_params)
+    assembled = assemble(problem, config)
     if compute_residual == "exact" and assembled.operator is None:
         raise ValueError(
             f"problem {assembled.name!r} provides no exact operator; "

@@ -21,15 +21,32 @@ a complex right-hand side on a real factorization transparently
 refactorizes at the promoted dtype, and :meth:`astype` returns an operator
 that refactorizes at the requested precision on first solve (the paper's
 float32 preconditioner runs).
+
+Execution contexts
+------------------
+The operator owns one :class:`~repro.backends.context.ExecutionContext`
+built from its config: construction results, the factorization, and the
+compiled apply plan all live on the context's backend, and the config's
+:class:`~repro.backends.context.PrecisionPolicy` governs the plan dtype
+(``plan="float32"`` = the half-traffic mixed-precision plan) and whether
+:meth:`solve` runs one step of iterative refinement — a demoted
+factorization then still returns solutions with full-precision residuals,
+while Krylov matvecs keep running on the cheap plan.
+
+Host/device transfers happen only here, at the facade boundary:
+``matvec``/``solve`` accept and return host arrays, moving data through
+``context.to_device``/``to_host`` exactly once per call.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy.sparse.linalg import LinearOperator
 
+from ..backends.context import ExecutionContext
 from ..backends.counters import KernelTrace
 from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
 from ..core.apply_plan import ApplyPlan
@@ -77,10 +94,21 @@ class HODLROperator(LinearOperator):
         self._cast: Optional[HODLRMatrix] = None
         self._solver: Optional[HODLRSolver] = None
         self._plan: Optional[ApplyPlan] = None
+        self._context: Optional[ExecutionContext] = None
+        configured = config.numpy_dtype
         self._factor_dtype = np.dtype(
-            config.dtype if config.dtype is not None else hodlr.dtype
+            configured if configured is not None else hodlr.dtype
         )
         super().__init__(dtype=self._factor_dtype, shape=(hodlr.n, hodlr.n))
+
+    @property
+    def context(self) -> ExecutionContext:
+        """The operator's execution context (resolved lazily from the config,
+        so a config naming an unavailable backend fails on first use, not on
+        operator construction)."""
+        if self._context is None:
+            self._context = self.config.execution_context()
+        return self._context
 
     # -- caller ordering <-> internal (cluster-tree) ordering ----------------
     @property
@@ -149,9 +177,12 @@ class HODLROperator(LinearOperator):
 
     def astype(self, dtype: Any) -> "HODLROperator":
         """A new operator at ``dtype`` (refactorizes lazily on first solve)."""
-        return HODLROperator(
-            self._base, self.config.replace(dtype=np.dtype(dtype).name), perm=self._perm
-        )
+        name = np.dtype(dtype).name
+        changes: Dict[str, Any] = {"dtype": name}
+        if self.config.precision.storage is not None:
+            # keep the two storage-dtype spellings consistent
+            changes["precision"] = dc_replace(self.config.precision, storage=name)
+        return HODLROperator(self._base, self.config.replace(**changes), perm=self._perm)
 
     # ------------------------------------------------------------------
     # LinearOperator interface: the forward operator A (caller ordering)
@@ -168,19 +199,24 @@ class HODLROperator(LinearOperator):
         (the caller's HODLRMatrix is left untouched — no hidden memory or
         matvec rerouting on a shared object), so a Krylov loop pays the
         bucket packing once and every subsequent matvec runs as a handful of
-        batched gemm launches.  Dtype refactorizations invalidate it.
+        batched gemm launches.  The operator's context supplies the backend
+        and the precision policy (a ``plan="float32"`` policy compiles the
+        half-traffic mixed-precision plan).  Dtype refactorizations
+        invalidate it.
         """
         if self._plan is None:
-            self._plan = ApplyPlan(self._current_hodlr())
+            self._plan = ApplyPlan(self._current_hodlr(), context=self.context)
         return self._plan
 
     def _matvec(self, x: np.ndarray) -> np.ndarray:
-        x_int = self._to_internal(np.asarray(x).ravel())
-        return self._to_caller(self._applied_plan().matvec(x_int))
+        ctx = self.context
+        x_int = ctx.to_device(self._to_internal(np.asarray(x).ravel()))
+        return self._to_caller(ctx.to_host(self._applied_plan().matvec(x_int)))
 
     def _matmat(self, X: np.ndarray) -> np.ndarray:
-        X_int = self._to_internal(np.asarray(X))
-        return self._to_caller(self._applied_plan().matvec(X_int))
+        ctx = self.context
+        X_int = ctx.to_device(self._to_internal(np.asarray(X)))
+        return self._to_caller(ctx.to_host(self._applied_plan().matvec(X_int)))
 
     # ------------------------------------------------------------------
     # solve (the inverse action)
@@ -208,19 +244,87 @@ class HODLROperator(LinearOperator):
         requires a different factorization dtype (e.g. complex rhs on a
         real factorization), the operator refactorizes at the promoted
         dtype first.
+
+        When the context's precision policy sets ``refine=True`` and the
+        factorization dtype is narrower than the matrix's natural dtype
+        (e.g. a float32 factorization of a float64 problem), one step of
+        iterative refinement runs after the direct solve: the residual is
+        evaluated with the full-precision operator and a single correction
+        solve is applied.  The refined solution is returned at the *wide*
+        dtype and carries ~full-precision residuals, while the
+        factorization (and any Krylov matvecs on the demoted apply plan)
+        keep running at the cheap dtype.
         """
+        ctx = self.context
         if self._perm is not None:
             b = self._to_internal(b)
         b_dtype = getattr(b, "dtype", None)
         if b_dtype is None:
             b = np.asarray(b)
             b_dtype = b.dtype
+        wide_dtype = np.result_type(self._base.dtype, b_dtype)
         target = self._solve_dtype(b_dtype)
         if target != self._factor_dtype:
             self._invalidate(target)
-        if b_dtype != target:
-            b = b.astype(target)
-        return self._to_caller(self.solver.solve(b, compute_residual=compute_residual))
+        b_t = b.astype(target) if b_dtype != target else b
+        refine = (
+            ctx.precision.refine
+            and np.dtype(wide_dtype).itemsize > np.dtype(target).itemsize
+        )
+        stats = self.solver.stats
+        solves_before = stats.num_solves
+        seconds_before = stats.solve_seconds
+        x = ctx.to_host(
+            self.solver.solve(
+                ctx.to_device(b_t), compute_residual=compute_residual and not refine
+            )
+        )
+        if refine:
+            x = self._refine_once(x, b, wide_dtype, target)
+            # the direct solve + correction solve are one user-visible solve
+            stats.num_solves = solves_before + 1
+            stats.last_solve_seconds = stats.solve_seconds - seconds_before
+            if compute_residual:
+                # the refined residual, at the wide dtype against the
+                # full-precision base operator (the demoted matvec would
+                # report a float32-grade number the solution does not have)
+                bw = np.asarray(b, dtype=wide_dtype)
+                rw = bw - self._wide_matvec(x)
+                denom = float(np.linalg.norm(bw))
+                stats.relative_residual = (
+                    float(np.linalg.norm(rw)) / denom if denom > 0 else float(np.linalg.norm(rw))
+                )
+        return self._to_caller(x)
+
+    def _wide_matvec(self, xw: np.ndarray) -> np.ndarray:
+        """``A @ x`` at the base matrix's full precision (host arrays).
+
+        Bypasses any *demoted* apply plan cached on the base HODLR matrix
+        (a plan built with ``PrecisionPolicy(plan="float32")`` would make
+        refinement residuals — and hence refinement itself — float32-grade);
+        a full-precision cached plan is still used.
+        """
+        ctx = self.context
+        plan = self._base.apply_plan
+        use_plan = plan is None or not getattr(plan, "demoted", False)
+        y = self._base.matvec(ctx.to_device(xw), use_plan=use_plan)
+        return np.asarray(ctx.to_host(y))
+
+    def _refine_once(
+        self, x: np.ndarray, b: np.ndarray, wide_dtype: np.dtype, target: np.dtype
+    ) -> np.ndarray:
+        """One step of iterative refinement at the wide dtype.
+
+        The residual uses the *base* (full-precision) HODLR matvec — not the
+        demoted factorization or a demoted cached apply plan — so the
+        correction removes the rounding the narrow factorization introduced.
+        """
+        ctx = self.context
+        xw = np.asarray(x, dtype=wide_dtype)
+        bw = np.asarray(b, dtype=wide_dtype)
+        r = bw - self._wide_matvec(xw)
+        dx = ctx.to_host(self.solver.solve(ctx.to_device(r.astype(target))))
+        return xw + np.asarray(dx, dtype=wide_dtype)
 
     def relative_residual(self, x: np.ndarray, b: np.ndarray) -> float:
         """``||b - A x|| / ||b||`` with the HODLR matvec (the paper's relres)."""

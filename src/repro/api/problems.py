@@ -36,7 +36,7 @@ Registered names
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, ClassVar, Optional
 
 import numpy as np
 
@@ -53,7 +53,7 @@ from ..kernels.kernel_matrix import KernelMatrix
 from ..kernels.points import uniform_points
 from ..kernels.radial import GaussianKernel, MaternKernel
 from ..kernels.rpy import RPYKernel
-from .config import ConfigError, SolverConfig
+from .config import CompressionConfig, ConfigError, SolverConfig
 from .operator import HODLROperator
 from .problem import AssembledProblem, register_problem
 
@@ -102,6 +102,7 @@ def _kernel_assembled(
         max_rank=comp.max_rank,
         reorder=reorder,
         construction=comp.construction,
+        context=config.construction_context(),
     )
     identity = np.array_equal(perm, np.arange(kernel_matrix.n))
     metadata = dict(metadata, kernel_matrix=kernel_matrix)
@@ -127,6 +128,8 @@ class GaussianKernelProblem:
     seed: int = 0
 
     name = "gaussian_kernel"
+    #: rook compression at direct-solver accuracy (the quickstart defaults)
+    default_config: ClassVar[SolverConfig] = SolverConfig()
 
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         rng = np.random.default_rng(self.seed)
@@ -160,6 +163,11 @@ class GPCovarianceProblem:
     seed: int = 4
 
     name = "gp_covariance"
+    #: GP regression tolerates preconditioner-grade compression; 1e-8 keeps
+    #: log-marginal-likelihood terms accurate without deep adaptive ranks
+    default_config: ClassVar[SolverConfig] = SolverConfig(
+        compression=CompressionConfig(tol=1e-8)
+    )
 
     @staticmethod
     def true_function(x: np.ndarray) -> np.ndarray:
@@ -197,6 +205,7 @@ class RPYMobilityProblem:
     seed: int = 1
 
     name = "rpy_mobility"
+    default_config: ClassVar[SolverConfig] = SolverConfig()
 
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         comp = config.compression
@@ -213,7 +222,10 @@ class RPYMobilityProblem:
         tree = ClusterTree.balanced(n_dof, leaf_size=comp.leaf_size)
         entries = kernel.evaluator(points)
         hodlr = build_hodlr(
-            entries, tree, config=comp.core_config(rng=np.random.default_rng(self.seed))
+            entries,
+            tree,
+            config=comp.core_config(rng=np.random.default_rng(self.seed)),
+            context=config.construction_context(),
         )
         return AssembledProblem(
             name=self.name,
@@ -257,6 +269,11 @@ class LaplaceBIEProblem:
     contour: object = None
 
     name = "laplace_bie"
+    #: BIE operators need proxy-surface compression — solving without an
+    #: explicit config now just works
+    default_config: ClassVar[SolverConfig] = SolverConfig(
+        compression=CompressionConfig(method="proxy", tol=1e-10)
+    )
 
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         contour = self.contour if self.contour is not None else StarContour()
@@ -291,6 +308,13 @@ class HelmholtzBIEProblem:
     direction: tuple = (1.0, 0.3)
 
     name = "helmholtz_bie"
+    #: complex-aware defaults: proxy compression (the operator is a BIE),
+    #: natural (complex128) dtype, pivoting on — oscillatory combined-field
+    #: systems are where the non-pivoted variant is least safe
+    default_config: ClassVar[SolverConfig] = SolverConfig(
+        compression=CompressionConfig(method="proxy", tol=1e-8, n_proxy=96),
+        pivot=True,
+    )
 
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         contour = self.contour if self.contour is not None else StarContour()
@@ -331,6 +355,11 @@ class EllipticSchurProblem:
     rank: int = 24
 
     name = "elliptic_schur"
+    #: peeling probes the Schur complement with fixed-rank matvecs; svd
+    #: compression of the probed blocks matches that access pattern
+    default_config: ClassVar[SolverConfig] = SolverConfig(
+        compression=CompressionConfig(tol=1e-8, method="svd")
+    )
 
     @staticmethod
     def diffusion(x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -30,8 +30,15 @@ from .dispatch import (
     available_backends,
     get_backend,
     plan_batch,
+    plan_batch_padded,
     register_backend,
     registered_backends,
+)
+from .context import (
+    DEFAULT_CONTEXT,
+    ExecutionContext,
+    PrecisionPolicy,
+    resolve_context,
 )
 from .batched import (
     BatchedBackend,
@@ -64,8 +71,13 @@ __all__ = [
     "available_backends",
     "get_backend",
     "plan_batch",
+    "plan_batch_padded",
     "register_backend",
     "registered_backends",
+    "DEFAULT_CONTEXT",
+    "ExecutionContext",
+    "PrecisionPolicy",
+    "resolve_context",
     "BatchedBackend",
     "gemm_batched",
     "gemm_strided_batched",

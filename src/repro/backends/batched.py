@@ -62,19 +62,26 @@ from .dispatch import (
     DispatchPolicy,
     get_backend,
     plan_batch,
+    plan_batch_padded,
 )
 
 ArrayBatch = Union[np.ndarray, Sequence[np.ndarray]]
 
 
 def _is_strided(batch: ArrayBatch) -> bool:
-    return isinstance(batch, np.ndarray) and batch.ndim == 3
+    return hasattr(batch, "ndim") and batch.ndim == 3
+
+
+def _elem_dtype(x) -> np.dtype:
+    """Dtype of one batch member without forcing a host conversion."""
+    dt = getattr(x, "dtype", None)
+    return np.dtype(dt) if dt is not None else np.asarray(x).dtype
 
 
 def _dtype_of(batch: ArrayBatch) -> np.dtype:
     if _is_strided(batch):
-        return batch.dtype
-    return np.result_type(*[np.asarray(b).dtype for b in batch])
+        return np.dtype(batch.dtype)
+    return np.result_type(*[_elem_dtype(b) for b in batch])
 
 
 def _is_complex(dtype: np.dtype) -> bool:
@@ -87,7 +94,19 @@ def _batch_len(batch: ArrayBatch) -> int:
     return len(batch)
 
 
-def _resolve(backend: Optional[ArrayBackend], policy: Optional[DispatchPolicy]):
+def _resolve(
+    backend: Optional[ArrayBackend],
+    policy: Optional[DispatchPolicy],
+    context=None,
+):
+    """Resolve the legacy ``backend=``/``policy=`` pair and the unified
+    ``context=`` spelling (an :class:`~repro.backends.context.ExecutionContext`,
+    duck-typed to avoid an import cycle) to concrete instances."""
+    if context is not None:
+        if backend is None:
+            backend = context.backend
+        if policy is None:
+            policy = context.policy
     return backend or get_backend("numpy"), policy or DEFAULT_POLICY
 
 
@@ -126,6 +145,7 @@ def gemm_batched(
     conjugate_a: bool = False,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context=None,
 ) -> List[np.ndarray]:
     """Pointer-array batched GEMM: ``C[i] = alpha * op(A[i]) @ B[i] + beta * C[i]``.
 
@@ -135,7 +155,10 @@ def gemm_batched(
 
     Blocks sharing a shape are grouped into buckets and executed with one
     strided ``matmul`` per bucket (see module docstring); the returned list
-    is in submission order regardless of bucketing.
+    is in submission order regardless of bucketing.  With
+    ``policy.pad_buckets`` near-equal shapes are zero-padded into shared
+    buckets (exact for gemm), collapsing singleton-shape batches into far
+    fewer launches.
     """
     nbatch = _batch_len(A)
     if _batch_len(B) != nbatch:
@@ -145,7 +168,7 @@ def gemm_batched(
     if nbatch == 0:
         return []
 
-    xb, pol = _resolve(backend, policy)
+    xb, pol = _resolve(backend, policy, context)
     results: List[Optional[np.ndarray]] = [None] * nbatch
     total_flops = 0.0
     total_bytes = 0.0
@@ -156,8 +179,8 @@ def gemm_batched(
         dtype = _dtype_of(A)
         cplx = _is_complex(dtype)
         for i in range(nbatch):
-            Ai, Bi = np.asarray(A[i]), np.asarray(B[i])
-            Ci = np.asarray(C[i]) if C is not None else None
+            Ai, Bi = xb.asarray(A[i]), xb.asarray(B[i])
+            Ci = xb.asarray(C[i]) if C is not None else None
             out = _gemm_block(Ai, Bi, Ci, alpha, beta, transpose_a, conjugate_a)
             results[i] = out
             shape_rep, flops, nbytes = _gemm_accounting(Ai, Bi, out, cplx)
@@ -167,12 +190,15 @@ def gemm_batched(
                      strided=False, buckets=1)
         return results  # type: ignore[return-value]
 
+    if pol.pad_buckets:
+        return _gemm_padded(A, B, C, alpha, beta, transpose_a, conjugate_a, xb, pol)
+
     plan = plan_batch([(np.shape(A[i]), np.shape(B[i])) for i in range(nbatch)])
     # accounting is analytic per bucket (shapes are uniform within a bucket),
     # which removes the seed's per-block Python bookkeeping from the fast path
     dtype = np.result_type(
-        *[np.asarray(A[b.indices[0]]).dtype for b in plan.buckets],
-        *[np.asarray(B[b.indices[0]]).dtype for b in plan.buckets],
+        *[_elem_dtype(A[b.indices[0]]) for b in plan.buckets],
+        *[_elem_dtype(B[b.indices[0]]) for b in plan.buckets],
     )
     cplx = _is_complex(dtype)
     itemsize = np.dtype(dtype).itemsize
@@ -209,9 +235,9 @@ def gemm_batched(
             # blocks too large to amortise the pack copy (or a singleton
             # bucket): tight per-problem execution, still one planned launch
             for i in idx:
-                Ci = np.asarray(C[i]) if C is not None else None
+                Ci = xb.asarray(C[i]) if C is not None else None
                 results[i] = _gemm_block(
-                    np.asarray(A[i]), np.asarray(B[i]), Ci,
+                    xb.asarray(A[i]), xb.asarray(B[i]), Ci,
                     alpha, beta, transpose_a, conjugate_a,
                 )
         total_flops += len(idx) * gemm_flops(m, n, k, cplx)
@@ -239,6 +265,109 @@ def _record_gemm(nbatch, shape_rep, flops, nbytes, dtype, strided, buckets):
     )
 
 
+def _gemm_padded(A, B, C, alpha, beta, transpose_a, conjugate_a, xb, pol):
+    """Pad-to-bucket gemm execution (``DispatchPolicy.pad_buckets``).
+
+    NOTE: this mirrors the packed-bucket branch of :func:`gemm_batched`
+    with padding added (the exact-bucket path keeps its 1-D/2-D rhs bucket
+    separation and zero-copy stacking, which padding cannot).  A semantic
+    change to either executor (operand handling, accounting, the pack
+    crossover) must be applied to both.
+
+    Members are described by the dimension vector ``(a0, a1, n)`` (raw
+    ``A[i]`` shape plus the right-hand-side width); near-equal vectors are
+    merged by the planner and each member is zero-padded to the bucket's
+    target shape.  Zero rows/columns contribute zeros to the product, so
+    slicing the result back to the member's true shape is exact.
+    Accounting charges the *padded* dimensions — that is what the device
+    would execute.
+    """
+    nbatch = _batch_len(A)
+    results: List[Optional[np.ndarray]] = [None] * nbatch
+    squeeze = [np.ndim(B[i]) == 1 for i in range(nbatch)]
+    dims = []
+    for i in range(nbatch):
+        a0, a1 = np.shape(A[i])
+        n = 1 if squeeze[i] else np.shape(B[i])[1]
+        dims.append((a0, a1, n))
+
+    plan = plan_batch_padded(dims, pol.pad_max_waste)
+    dtype = np.result_type(
+        *[_elem_dtype(A[b.indices[0]]) for b in plan.buckets],
+        *[_elem_dtype(B[b.indices[0]]) for b in plan.buckets],
+    )
+    cplx = _is_complex(dtype)
+    itemsize = np.dtype(dtype).itemsize
+    total_flops = 0.0
+    total_bytes = 0.0
+    shape_rep: Tuple[int, int, int] = (0, 0, 0)
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        a0, a1, n = bucket.key
+        m, k = (a1, a0) if (transpose_a or conjugate_a) else (a0, a1)
+        padded = any(dims[i] != bucket.key for i in idx)
+        if pol.pack_gemm_bucket(len(idx), a0 * a1, k * n):
+            if padded:
+                A3 = xb.zeros((len(idx), a0, a1), dtype=dtype)
+                B3 = xb.zeros((len(idx), k, n), dtype=dtype)
+                for j, i in enumerate(idx):
+                    ai0, ai1, ni = dims[i]
+                    A3[j, :ai0, :ai1] = A[i]
+                    Bi = B[i].reshape(-1, 1) if squeeze[i] else B[i]
+                    ki = ai0 if (transpose_a or conjugate_a) else ai1
+                    B3[j, :ki, :ni] = Bi
+            else:
+                A3 = xb.stack([A[i] for i in idx])
+                B3 = xb.stack(
+                    [B[i].reshape(-1, 1) if squeeze[i] else B[i] for i in idx]
+                )
+            if transpose_a or conjugate_a:
+                opA3 = A3.transpose(0, 2, 1)
+                if conjugate_a:
+                    opA3 = opA3.conj()
+            else:
+                opA3 = A3
+            out3 = alpha * xb.matmul(opA3, B3)
+            if C is not None and beta != 0.0:
+                if padded:
+                    C3 = xb.zeros((len(idx), m, n), dtype=dtype)
+                    for j, i in enumerate(idx):
+                        Ci = C[i]
+                        Ci = Ci.reshape(-1, 1) if np.ndim(Ci) == 1 else Ci
+                        C3[j, : Ci.shape[0], : Ci.shape[1]] = Ci
+                else:
+                    # a merged bucket may mix (m,) and (m, 1) C operands —
+                    # normalise per member, like B above
+                    C3 = xb.stack(
+                        [C[i].reshape(-1, 1) if np.ndim(C[i]) == 1 else C[i]
+                         for i in idx]
+                    )
+                out3 = out3 + beta * C3
+            for j, i in enumerate(idx):
+                ai0, ai1, ni = dims[i]
+                mi = ai1 if (transpose_a or conjugate_a) else ai0
+                out = out3[j, :mi, :ni]
+                results[i] = out[:, 0] if squeeze[i] else out
+        else:
+            # above the pack crossover (or a singleton bucket): tight
+            # per-problem execution, still one planned launch
+            for i in idx:
+                Ci = xb.asarray(C[i]) if C is not None else None
+                results[i] = _gemm_block(
+                    xb.asarray(A[i]), xb.asarray(B[i]), Ci,
+                    alpha, beta, transpose_a, conjugate_a,
+                )
+        total_flops += len(idx) * gemm_flops(m, n, k, cplx)
+        total_bytes += float(len(idx) * (a0 * a1 + k * n + m * n) * itemsize)
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (m, n, k)
+    _record_gemm(nbatch, shape_rep, total_flops, total_bytes, dtype,
+                 strided=True, buckets=plan.num_buckets)
+    return results
+
+
 def _storage_nbytes(a: np.ndarray) -> int:
     """Physical bytes behind an operand.
 
@@ -260,6 +389,7 @@ def gemm_strided_batched(
     transpose_a: bool = False,
     conjugate_a: bool = False,
     backend: Optional[ArrayBackend] = None,
+    context=None,
 ) -> np.ndarray:
     """Strided batched GEMM over 3-D operands (``batch x m x k`` etc.).
 
@@ -272,10 +402,10 @@ def gemm_strided_batched(
         raise ValueError("gemm_strided_batched expects 3-D operands")
     if A.shape[0] != B.shape[0]:
         raise ValueError("batch dimensions must agree")
-    xb, _ = _resolve(backend, None)
+    xb, _ = _resolve(backend, None, context)
 
     if transpose_a or conjugate_a:
-        opA = np.conj(A.transpose(0, 2, 1)) if conjugate_a else A.transpose(0, 2, 1)
+        opA = A.transpose(0, 2, 1).conj() if conjugate_a else A.transpose(0, 2, 1)
     else:
         opA = A
     out = alpha * xb.matmul(opA, B)
@@ -305,6 +435,7 @@ def gemm_strided_batched(
 def qr_batched(
     A: np.ndarray,
     backend: Optional[ArrayBackend] = None,
+    context=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Strided batched thin QR (cuSOLVER ``geqrfBatched`` + ``orgqr``).
 
@@ -315,7 +446,7 @@ def qr_batched(
     """
     if A.ndim != 3:
         raise ValueError("qr_batched expects a 3-D strided batch")
-    xb, _ = _resolve(backend, None)
+    xb, _ = _resolve(backend, None, context)
     Q, R = xb.qr_batch(A)
     nbatch, m, n = A.shape
     cplx = _is_complex(A.dtype)
@@ -336,6 +467,7 @@ def qr_batched(
 def svd_batched(
     A: np.ndarray,
     backend: Optional[ArrayBackend] = None,
+    context=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Strided batched economy SVD (cuSOLVER ``gesvdjBatched``).
 
@@ -344,7 +476,7 @@ def svd_batched(
     """
     if A.ndim != 3:
         raise ValueError("svd_batched expects a 3-D strided batch")
-    xb, _ = _resolve(backend, None)
+    xb, _ = _resolve(backend, None, context)
     U, s, Vh = xb.svd_batch(A)
     nbatch, m, n = A.shape
     cplx = _is_complex(A.dtype)
@@ -412,6 +544,7 @@ def getrf_batched(
     pivot: bool = True,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context=None,
 ) -> BatchedLU:
     """Batched LU factorization (cuBLAS ``getrfBatched``).
 
@@ -430,7 +563,7 @@ def getrf_batched(
     nbatch = _batch_len(A)
     if nbatch == 0:
         return BatchedLU(lu=[], piv=[], pivot=pivot)
-    xb, pol = _resolve(backend, policy)
+    xb, pol = _resolve(backend, policy, context)
     strided_in = _is_strided(A)
 
     lus: List[Optional[np.ndarray]] = [None] * nbatch
@@ -444,7 +577,7 @@ def getrf_batched(
         dtype = _dtype_of(A)
         cplx = _is_complex(dtype)
         for i in range(nbatch):
-            Ai = np.asarray(A[i])
+            Ai = xb.asarray(A[i])
             if Ai.shape[0] != Ai.shape[1]:
                 raise ValueError("getrf_batched requires square matrices")
             n = Ai.shape[0]
@@ -462,7 +595,7 @@ def getrf_batched(
     for bucket in plan.buckets:
         if len(bucket.key) != 2 or bucket.key[0] != bucket.key[1]:
             raise ValueError("getrf_batched requires square matrices")
-    dtype = np.result_type(*[np.asarray(A[b.indices[0]]).dtype for b in plan.buckets])
+    dtype = np.result_type(*[_elem_dtype(A[b.indices[0]]) for b in plan.buckets])
     cplx = _is_complex(dtype)
     itemsize = np.dtype(dtype).itemsize
     rep_size = -1
@@ -479,7 +612,7 @@ def getrf_batched(
             # blocks above the vectorisation crossover: blocked per-problem
             # LAPACK inside the bucket, still one planned launch
             for i in idx:
-                lu, piv = xb.lu_factor(np.asarray(A[i]), pivot=pivot)
+                lu, piv = xb.lu_factor(xb.asarray(A[i]), pivot=pivot)
                 lus[i] = lu
                 pivs[i] = piv if pivot else empty_piv
         total_flops += len(idx) * getrf_flops(n, cplx)
@@ -497,6 +630,7 @@ def getrs_batched(
     B: ArrayBatch,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context=None,
 ) -> List[np.ndarray]:
     """Batched LU solve (cuBLAS ``getrsBatched``): ``X[i] = A[i]^{-1} B[i]``.
 
@@ -508,7 +642,7 @@ def getrs_batched(
         raise ValueError("right-hand-side batch must match the factor batch")
     if nbatch == 0:
         return []
-    xb, pol = _resolve(backend, policy)
+    xb, pol = _resolve(backend, policy, context)
     strided_in = _is_strided(B)
 
     xs: List[Optional[np.ndarray]] = [None] * nbatch
@@ -519,7 +653,7 @@ def getrs_batched(
     rhs2d: List[np.ndarray] = []
     squeeze: List[bool] = []
     for i in range(nbatch):
-        Bi = np.asarray(B[i])
+        Bi = xb.asarray(B[i])
         squeeze.append(Bi.ndim == 1)
         rhs2d.append(Bi if Bi.ndim == 2 else Bi.reshape(-1, 1))
 
@@ -606,7 +740,13 @@ class BatchedBackend:
         self,
         array_backend: Optional[Union[str, ArrayBackend]] = None,
         policy: Optional[DispatchPolicy] = None,
+        context=None,
     ) -> None:
+        if context is not None:
+            if array_backend is None:
+                array_backend = context.backend
+            if policy is None:
+                policy = context.policy
         if isinstance(array_backend, str):
             array_backend = get_backend(array_backend)
         self.array_backend = array_backend or get_backend("numpy")

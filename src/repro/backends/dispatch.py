@@ -24,6 +24,10 @@ This module turns the emulation layer into a real dispatch seam:
     is packed into strided 3-D storage and executed with one vectorised
     ``matmul``/LU call, so a batch with ``k`` distinct shapes costs ``k``
     kernel launches instead of one Python iteration per block.
+    :meth:`BatchPlanner.plan_padded` additionally merges *near-equal*
+    shapes into shared zero-padded buckets (opt-in via
+    ``DispatchPolicy(pad_buckets=True)``), so trees with many singleton
+    shapes stop degenerating into per-block launches.
 
 :class:`DispatchPolicy`
     Tunables deciding when bucketing and the vectorised batched LU are
@@ -109,6 +113,67 @@ class BatchPlanner:
         )
         return BatchPlan(buckets=buckets, nbatch=len(keys))
 
+    def plan_padded(
+        self, shapes: Sequence[Tuple[int, ...]], max_waste: float = 0.25
+    ) -> BatchPlan:
+        """Group integer shape tuples, merging near-equal shapes by padding.
+
+        Unlike :meth:`plan` the keys must be tuples of non-negative ints (a
+        per-member dimension vector).  Exact-shape groups are formed first;
+        groups are then greedily merged — largest first — into a *target*
+        shape (the dimension-wise maximum) whenever every member's padding
+        waste ``1 - prod(shape) / prod(target)`` stays at or below
+        ``max_waste``.  The returned bucket ``key`` is the target shape;
+        members may be smaller and must be zero-padded to it by the
+        executor.  Adaptive-rank trees, whose levels produce many singleton
+        shapes differing by a column or two, collapse from one launch per
+        block to one launch per padded bucket.
+        """
+        exact = self.plan(shapes)
+        if max_waste <= 0.0 or exact.num_buckets <= 1:
+            return exact
+
+        def _volume(shape: Tuple[int, ...]) -> int:
+            v = 1
+            for d in shape:
+                v *= int(d)
+            return v
+
+        # largest shapes first, ties broken by first occurrence for determinism
+        order = sorted(
+            range(exact.num_buckets),
+            key=lambda i: (-_volume(exact.buckets[i].key), exact.buckets[i].indices[0]),
+        )
+        groups: List[Tuple[Tuple[int, ...], List[ShapeBucket]]] = []
+        for i in order:
+            bucket = exact.buckets[i]
+            shape = bucket.key
+            vol = _volume(shape)
+            placed = False
+            for g, (target, members) in enumerate(groups):
+                if len(shape) != len(target):
+                    continue
+                if any(d > t for d, t in zip(shape, target)):
+                    continue
+                tvol = _volume(target)
+                if tvol and 1.0 - vol / tvol <= max_waste:
+                    members.append(bucket)
+                    placed = True
+                    break
+            if not placed:
+                groups.append((shape, [bucket]))
+
+        merged = []
+        for target, members in groups:
+            indices: List[int] = []
+            for b in members:
+                indices.extend(b.indices)
+            indices.sort()
+            merged.append(ShapeBucket(key=target, indices=tuple(indices)))
+        # deterministic output order: by first member, like plan()
+        merged.sort(key=lambda b: b.indices[0])
+        return BatchPlan(buckets=tuple(merged), nbatch=len(shapes))
+
 
 _PLANNER = BatchPlanner()
 
@@ -116,6 +181,13 @@ _PLANNER = BatchPlanner()
 def plan_batch(keys: Sequence[Hashable]) -> BatchPlan:
     """Plan a batch with the module-level :class:`BatchPlanner`."""
     return _PLANNER.plan(keys)
+
+
+def plan_batch_padded(
+    shapes: Sequence[Tuple[int, ...]], max_waste: float = 0.25
+) -> BatchPlan:
+    """Pad-merging plan via the module-level :class:`BatchPlanner`."""
+    return _PLANNER.plan_padded(shapes, max_waste=max_waste)
 
 
 # ======================================================================
@@ -163,6 +235,15 @@ class DispatchPolicy:
         ``n <= lu_solve_max_n`` and ``batch >= ratio * n`` (substitution
         vectorises better than elimination: each of the O(n) steps is one
         batched matmul).
+    pad_buckets / pad_max_waste:
+        Opt-in pad-to-bucket packing for gemm batches: near-equal shapes
+        are merged into one zero-padded bucket when every member wastes at
+        most ``pad_max_waste`` of the padded volume.  Adaptive-rank trees
+        produce many singleton shapes (ranks differing by a column or two
+        per node) that otherwise degenerate into per-block launches; with
+        padding they execute as one strided kernel per merged bucket.
+        Zero padding is exact for gemm (padded rows/columns contribute
+        zeros that are sliced away), so results are unchanged.
     """
 
     bucketing: bool = True
@@ -173,6 +254,8 @@ class DispatchPolicy:
     lu_factor_min_batch: int = 24
     lu_solve_max_n: int = 48
     lu_solve_min_batch_ratio: float = 4.0
+    pad_buckets: bool = False
+    pad_max_waste: float = 0.25
 
     def pack_gemm_bucket(self, nblocks: int, a_elements: int, b_elements: int) -> bool:
         """Should a gemm bucket be packed into strided storage?"""
@@ -310,6 +393,14 @@ class ArrayBackend(Protocol):
 
     def stack(self, xs: Sequence): ...
 
+    def concat(self, xs: Sequence, axis: int = 0): ...
+
+    def zeros(self, shape, dtype=np.float64): ...
+
+    def eye(self, n: int, dtype=np.float64): ...
+
+    def broadcast_to(self, x, shape): ...
+
     def matmul(self, a, b): ...
 
     def norm(self, x): ...
@@ -345,6 +436,18 @@ class NumpyBackend:
         # np.asarray on a list of equal-shape arrays packs in one C-level
         # pass and is measurably faster than np.stack for many small blocks
         return np.asarray(xs if isinstance(xs, list) else list(xs))
+
+    def concat(self, xs, axis: int = 0):
+        return np.concatenate(list(xs), axis=axis)
+
+    def zeros(self, shape, dtype=np.float64):
+        return np.zeros(shape, dtype=dtype)
+
+    def eye(self, n: int, dtype=np.float64):
+        return np.eye(n, dtype=dtype)
+
+    def broadcast_to(self, x, shape):
+        return np.broadcast_to(x, shape)
 
     def matmul(self, a, b):
         return np.matmul(a, b)
@@ -413,6 +516,18 @@ class CupyBackend:
 
     def stack(self, xs):  # pragma: no cover - requires cupy
         return self._cp.stack([self._cp.asarray(x) for x in xs])
+
+    def concat(self, xs, axis: int = 0):  # pragma: no cover - requires cupy
+        return self._cp.concatenate([self._cp.asarray(x) for x in xs], axis=axis)
+
+    def zeros(self, shape, dtype=np.float64):  # pragma: no cover - requires cupy
+        return self._cp.zeros(shape, dtype=dtype)
+
+    def eye(self, n: int, dtype=np.float64):  # pragma: no cover - requires cupy
+        return self._cp.eye(n, dtype=dtype)
+
+    def broadcast_to(self, x, shape):  # pragma: no cover - requires cupy
+        return self._cp.broadcast_to(self._cp.asarray(x), shape)
 
     def matmul(self, a, b):  # pragma: no cover - requires cupy
         return self._cp.matmul(a, b)

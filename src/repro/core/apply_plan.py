@@ -23,8 +23,21 @@ level.  All launches go through :func:`repro.backends.batched.
 gemm_strided_batched`, so kernel traces and the performance model see the
 compiled schedule.
 
-The plan stores packed *copies* of the blocks (roughly doubling the matrix
-footprint); it is a snapshot — rebuild after mutating the HODLR blocks.
+Mixed precision
+---------------
+The single-vector apply is memory-bandwidth-bound: each matvec streams the
+whole packed storage once, while the arithmetic intensity per byte is tiny.
+An :class:`~repro.backends.context.ExecutionContext` whose
+:class:`~repro.backends.context.PrecisionPolicy` sets ``plan="float32"``
+therefore *demotes the packed storage* — all levels, or only levels at or
+below ``plan_min_level`` — halving the traffic.  The per-bucket gemms run
+at the demoted dtype; their results are accumulated into a
+``precision.accumulate`` (default float64) accumulator so rounding does not
+compound across levels, and the caller-visible output dtype is unchanged.
+
+The plan stores packed *copies* of the blocks (roughly doubling — or with
+demotion, adding half of — the matrix footprint); it is a snapshot —
+rebuild after mutating the HODLR blocks.
 """
 
 from __future__ import annotations
@@ -35,7 +48,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..backends.batched import gemm_strided_batched
-from ..backends.dispatch import ArrayBackend, get_backend, plan_batch
+from ..backends.context import ExecutionContext, resolve_context
+from ..backends.dispatch import ArrayBackend, plan_batch
 
 
 @dataclass
@@ -44,7 +58,7 @@ class _DiagBucket:
 
     #: (nb, m) row indices of each block (gather and scatter positions)
     idx: np.ndarray
-    #: (nb, m, m) stacked diagonal blocks
+    #: (nb, m, m) stacked diagonal blocks (possibly precision-demoted)
     D3: np.ndarray
 
     @property
@@ -61,7 +75,7 @@ class _LowRankBucket:
     row_idx: np.ndarray
     #: (nb, n) input row indices
     col_idx: np.ndarray
-    #: (nb, m, r) stacked left bases
+    #: (nb, m, r) stacked left bases (possibly precision-demoted)
     U3: np.ndarray
     #: (nb, r, n) stacked conjugate-transposed right bases (``V^*``)
     Vh3: np.ndarray
@@ -76,22 +90,39 @@ class _LowRankBucket:
 class ApplyPlan:
     """The compiled batched application schedule of one HODLR matrix."""
 
-    def __init__(self, hodlr, backend: Optional[ArrayBackend] = None) -> None:
-        self._backend = backend or get_backend("numpy")
+    def __init__(
+        self,
+        hodlr,
+        backend: Optional[ArrayBackend] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> None:
+        self._context = resolve_context(context, backend)
+        xb = self._context.backend
+        precision = self._context.precision
         tree = hodlr.tree
         self.n: int = tree.n
-        self.dtype = hodlr.dtype
+        #: the *logical* dtype: what products promote against, regardless of
+        #: any storage demotion below
+        self.dtype = np.dtype(hodlr.dtype)
         self.levels: int = tree.levels
         self.diag_buckets: List[_DiagBucket] = []
         self.lowrank_buckets: List[_LowRankBucket] = []
 
+        def _pack(stack_members, level: int):
+            stack = xb.stack(stack_members)
+            target = precision.plan_dtype(self.dtype, level)
+            if stack.dtype != target:
+                stack = stack.astype(target)
+            return stack
+
+        # leaf diagonal blocks sit at the deepest level of the tree
         leaves = tree.leaves
         for bucket in plan_batch([leaf.size for leaf in leaves]).buckets:
             members = [leaves[i] for i in bucket.indices]
             self.diag_buckets.append(
                 _DiagBucket(
                     idx=np.stack([leaf.indices for leaf in members]),
-                    D3=np.stack([np.asarray(hodlr.diag[leaf.index]) for leaf in members]),
+                    D3=_pack([hodlr.diag[leaf.index] for leaf in members], tree.levels),
                 )
             )
 
@@ -112,12 +143,15 @@ class ApplyPlan:
                         level=level,
                         row_idx=np.stack([rn.indices for rn, _, _, _ in members]),
                         col_idx=np.stack([cn.indices for _, cn, _, _ in members]),
-                        U3=np.stack([np.asarray(Ub) for _, _, Ub, _ in members]),
-                        Vh3=np.stack(
-                            [np.ascontiguousarray(Vb.conj().T) for _, _, _, Vb in members]
-                        ),
+                        U3=_pack([Ub for _, _, Ub, _ in members], level),
+                        Vh3=_pack([Vb.conj().T for _, _, _, Vb in members], level),
                     )
                 )
+
+        #: whether any bucket stores below the logical dtype
+        self.demoted: bool = any(
+            b.D3.dtype != self.dtype for b in self.diag_buckets
+        ) or any(b.U3.dtype != self.dtype for b in self.lowrank_buckets)
 
     # ------------------------------------------------------------------
     # application
@@ -127,31 +161,55 @@ class ApplyPlan:
 
         Accepts a vector or a block of vectors, like
         :meth:`~repro.core.hodlr.HODLRMatrix.matvec` (whose loop path this
-        reproduces to rounding error).
+        reproduces to rounding error at full precision; a demoted plan
+        agrees to the demoted dtype's accuracy while the accumulation and
+        output stay at the full dtype).
         """
-        x = np.asarray(x)
+        xb = self._context.backend
+        x = xb.asarray(x)
         squeeze = x.ndim == 1
         X = x.reshape(-1, 1) if squeeze else x
         if X.shape[0] != self.n:
             raise ValueError(f"dimension mismatch: matrix is {self.n}, vector is {X.shape[0]}")
         out_dtype = np.result_type(self.dtype, X.dtype)
-        y = np.zeros((self.n, X.shape[1]), dtype=out_dtype)
-        xb = self._backend
+        acc_dtype = out_dtype
+        if self.demoted:
+            acc_dtype = np.result_type(
+                out_dtype, self._context.precision.accumulate_dtype(out_dtype)
+            )
+        y = xb.zeros((self.n, X.shape[1]), dtype=acc_dtype)
+
+        # the right-hand side cast to each demoted bucket dtype, computed once
+        casts = {np.dtype(X.dtype): X}
+
+        def _cast(dtype):
+            dt = np.dtype(dtype)
+            if dt not in casts:
+                casts[dt] = X.astype(dt)
+            return casts[dt]
 
         for db in self.diag_buckets:
             # row indices are disjoint within a bucket, so the fancy-indexed
             # in-place add scatters without collisions
-            y[db.idx] += gemm_strided_batched(db.D3, X[db.idx], backend=xb)
+            Xb = _cast(np.result_type(db.D3.dtype, _demote_like(db.D3.dtype, X.dtype)))
+            y[db.idx] += gemm_strided_batched(db.D3, Xb[db.idx], backend=xb)
 
         for lb in self.lowrank_buckets:
-            T = gemm_strided_batched(lb.Vh3, X[lb.col_idx], backend=xb)
+            Xb = _cast(np.result_type(lb.Vh3.dtype, _demote_like(lb.Vh3.dtype, X.dtype)))
+            T = gemm_strided_batched(lb.Vh3, Xb[lb.col_idx], backend=xb)
             y[lb.row_idx] += gemm_strided_batched(lb.U3, T, backend=xb)
 
-        return y.ravel() if squeeze else y
+        if y.dtype != out_dtype:
+            y = y.astype(out_dtype)
+        return y.reshape(-1) if squeeze else y
 
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        return self._context
+
     @property
     def num_buckets(self) -> int:
         return len(self.diag_buckets) + len(self.lowrank_buckets)
@@ -168,8 +226,38 @@ class ApplyPlan:
             + sum(b.nbytes for b in self.lowrank_buckets)
         )
 
+    def storage_dtypes(self) -> dict:
+        """Plan storage dtype per tree level (diagnostics for precision tests).
+
+        Keys are tree levels (leaf diagonal buckets report the deepest
+        level); values are the packed storage dtypes.
+        """
+        out = {}
+        for db in self.diag_buckets:
+            out[self.levels] = np.dtype(db.D3.dtype)
+        for lb in self.lowrank_buckets:
+            out[lb.level] = np.dtype(lb.U3.dtype)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        demoted = ", mixed-precision" if self.demoted else ""
         return (
             f"ApplyPlan(n={self.n}, levels={self.levels}, "
-            f"buckets={self.num_buckets}, launches_per_apply={self.launches_per_apply})"
+            f"buckets={self.num_buckets}, launches_per_apply={self.launches_per_apply}"
+            f"{demoted})"
         )
+
+
+def _demote_like(storage_dtype: np.dtype, x_dtype: np.dtype) -> np.dtype:
+    """The dtype the right-hand side should carry into a bucket's gemm.
+
+    The product runs at the bucket's (possibly demoted) precision: a float32
+    bucket multiplies a float32 (or complex64) right-hand side so the kernel
+    is genuinely half-traffic, instead of NumPy promoting the whole gemm
+    back to float64.
+    """
+    storage_dtype = np.dtype(storage_dtype)
+    x_dtype = np.dtype(x_dtype)
+    if np.issubdtype(x_dtype, np.complexfloating) and storage_dtype.kind != "c":
+        return np.dtype("complex64") if storage_dtype.itemsize == 4 else np.dtype("complex128")
+    return storage_dtype

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..backends.dispatch import ArrayBackend, get_backend
 from .cluster_tree import ClusterTree, TreeNode
 from .hodlr import HODLRMatrix
 
@@ -52,9 +53,16 @@ class BigMatrices:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_hodlr(cls, hodlr: HODLRMatrix, dtype=None) -> "BigMatrices":
-        """Pack a :class:`HODLRMatrix` into the concatenated layout."""
+    def from_hodlr(
+        cls, hodlr: HODLRMatrix, dtype=None, backend: Optional[ArrayBackend] = None
+    ) -> "BigMatrices":
+        """Pack a :class:`HODLRMatrix` into the concatenated layout.
+
+        ``backend`` owns the big-matrix storage: device-resident HODLR
+        blocks pack into device-resident ``Ubig``/``Vbig``/``Dbig``.
+        """
         tree = hodlr.tree
+        xb = backend if backend is not None else get_backend("numpy")
         if dtype is None:
             dtype = hodlr.dtype
 
@@ -70,8 +78,8 @@ class BigMatrices:
         total_cols = col_offsets[-1]
 
         n = tree.n
-        Ubig = np.zeros((n, total_cols), dtype=dtype)
-        Vbig = np.zeros((n, total_cols), dtype=dtype)
+        Ubig = xb.zeros((n, total_cols), dtype=dtype)
+        Vbig = xb.zeros((n, total_cols), dtype=dtype)
         for level in range(1, tree.levels + 1):
             c0 = col_offsets[level - 1]
             r = level_ranks[level - 1]
@@ -82,8 +90,10 @@ class BigMatrices:
                 Ubig[node.start : node.stop, c0 : c0 + u.shape[1]] = u
                 Vbig[node.start : node.stop, c0 : c0 + v.shape[1]] = v
 
-        Dbig = {leaf.index: np.array(hodlr.diag[leaf.index], dtype=dtype, copy=True)
-                for leaf in tree.leaves}
+        Dbig = {
+            leaf.index: xb.asarray(hodlr.diag[leaf.index]).astype(dtype, copy=True)
+            for leaf in tree.leaves
+        }
         return cls(
             tree=tree,
             level_ranks=level_ranks,
@@ -173,10 +183,15 @@ class BigMatrices:
         if m is None:
             return None
         leaves = self.tree.leaves
-        out = np.empty((len(leaves), m, m), dtype=self.dtype)
-        for i, leaf in enumerate(leaves):
-            out[i] = self.Dbig[leaf.index]
-        return out
+        first = self.Dbig[leaves[0].index]
+        if type(first) is np.ndarray:
+            out = np.empty((len(leaves), m, m), dtype=self.dtype)
+            for i, leaf in enumerate(leaves):
+                out[i] = self.Dbig[leaf.index]
+            return out
+        # non-NumPy blocks (device arrays, recording stubs): np.stack
+        # dispatches to the blocks' own array library, no host copy
+        return np.stack([self.Dbig[leaf.index] for leaf in leaves])
 
     def block_rows(self, level: int, cols: slice, matrix: np.ndarray) -> List[np.ndarray]:
         """Row blocks of ``matrix[:, cols]`` partitioned by the nodes at ``level``.

@@ -29,11 +29,10 @@ import numpy as np
 from scipy import linalg as sla
 
 from ..backends.batched import gemm_strided_batched, qr_batched, svd_batched
+from ..backends.context import ExecutionContext, resolve_context
 from ..backends.dispatch import (
-    DEFAULT_POLICY,
     ArrayBackend,
     DispatchPolicy,
-    get_backend,
     plan_batch,
 )
 from .low_rank import LowRankFactor, _truncation_count
@@ -395,11 +394,13 @@ def _randomized_stack(
         omega = rng.standard_normal((n, nsamples))
         if cplx:
             omega = omega + 1j * rng.standard_normal((n, nsamples))
-        omega = omega.astype(dtype, copy=False)
+        # the Gaussian test matrix is drawn on the host (reproducible rng)
+        # and moved to the backend once per round
+        omega = xb.from_host(omega.astype(dtype, copy=False))
         # first round covers the whole stack: no gather copy
         sub = stack if pending.size == nbatch else stack[pending]
         Y = gemm_strided_batched(
-            sub, np.broadcast_to(omega, (pending.size, n, nsamples)), backend=xb
+            sub, xb.broadcast_to(omega, (pending.size, n, nsamples)), backend=xb
         )
         Q, _ = qr_batched(Y, backend=xb)
         G = gemm_strided_batched(Q, sub, conjugate_a=True, backend=xb)
@@ -440,6 +441,7 @@ def compress_block_stack(
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
     rng: Optional[np.random.Generator] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[LowRankFactor]:
     """Compress a uniform ``(batch, m, n)`` stack of dense blocks per ``config``.
 
@@ -448,13 +450,14 @@ def compress_block_stack(
     unpacking.  ``rook`` (no batched analogue — its pivot search is
     entrywise-adaptive) and ``policy.bucketing=False``
     (:data:`~repro.backends.dispatch.LOOP_POLICY`) compress the slices one
-    at a time.
+    at a time.  ``context`` supersedes the legacy ``backend=``/``policy=``
+    pair; a device-resident context keeps the stack and factors there.
     """
-    stack = np.asarray(stack)
+    ctx = resolve_context(context, backend, policy)
+    pol, xb = ctx.policy, ctx.backend
+    stack = xb.asarray(stack)
     if stack.ndim != 3:
         raise ValueError("compress_block_stack expects a (batch, m, n) stack")
-    pol = policy or DEFAULT_POLICY
-    xb = backend or get_backend("numpy")
     if config.method == "rook":
         return [
             rook_pivot_compress_dense(stack[i], tol=config.tol, max_rank=config.max_rank)
@@ -488,6 +491,7 @@ def svd_compress_batched(
     max_rank: Optional[int] = None,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[LowRankFactor]:
     """Truncated-SVD compression of many dense blocks, batched per shape bucket.
 
@@ -496,12 +500,12 @@ def svd_compress_batched(
     (ranks may differ).  ``policy.bucketing=False`` (:data:`~repro.backends.
     dispatch.LOOP_POLICY`) reproduces the per-block loop.
     """
-    pol = policy or DEFAULT_POLICY
+    ctx = resolve_context(context, backend, policy)
+    pol, xb = ctx.policy, ctx.backend
     if not blocks:
         return []
     if not pol.bucketing:
         return [svd_compress(np.asarray(b), tol=tol, max_rank=max_rank) for b in blocks]
-    xb = backend or get_backend("numpy")
     results: List[Optional[LowRankFactor]] = [None] * len(blocks)
     for bucket in plan_batch([np.shape(b) for b in blocks]).buckets:
         idx = bucket.indices
@@ -519,6 +523,7 @@ def randomized_compress_batched(
     rng: Optional[np.random.Generator] = None,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[LowRankFactor]:
     """Randomized compression of many dense blocks with shared test matrices.
 
@@ -529,7 +534,8 @@ def randomized_compress_batched(
     ``policy.bucketing=False`` reproduces the per-block adaptive loop.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
-    pol = policy or DEFAULT_POLICY
+    ctx = resolve_context(context, backend, policy)
+    pol, xb = ctx.policy, ctx.backend
     if not blocks:
         return []
     if not pol.bucketing:
@@ -537,7 +543,6 @@ def randomized_compress_batched(
             randomized_compress_dense(np.asarray(b), tol=tol, max_rank=max_rank, rng=rng)
             for b in blocks
         ]
-    xb = backend or get_backend("numpy")
     results: List[Optional[LowRankFactor]] = [None] * len(blocks)
     for bucket in plan_batch([np.shape(b) for b in blocks]).buckets:
         idx = bucket.indices
@@ -553,6 +558,7 @@ def compress_blocks_batched(
     config: CompressionConfig,
     backend: Optional[ArrayBackend] = None,
     policy: Optional[DispatchPolicy] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[LowRankFactor]:
     """Compress a list of dense blocks per ``config``, batching where possible.
 
@@ -562,7 +568,8 @@ def compress_blocks_batched(
     """
     if config.method == "svd":
         return svd_compress_batched(
-            blocks, tol=config.tol, max_rank=config.max_rank, backend=backend, policy=policy
+            blocks, tol=config.tol, max_rank=config.max_rank,
+            backend=backend, policy=policy, context=context,
         )
     if config.method == "randomized":
         return randomized_compress_batched(
@@ -573,6 +580,7 @@ def compress_blocks_batched(
             rng=config.generator(),
             backend=backend,
             policy=policy,
+            context=context,
         )
     if config.method == "rook":
         return [

@@ -95,8 +95,9 @@ class BatchedFactorization:
         shapes_a = {a.shape for a in A_blocks}
         shapes_b = {b.shape for b in B_blocks}
         if len(shapes_a) == 1 and len(shapes_b) == 1:
-            A3 = np.stack(A_blocks)
-            B3 = np.stack(B_blocks)
+            xb = self.backend.array_backend
+            A3 = xb.stack(list(A_blocks))
+            B3 = xb.stack(list(B_blocks))
             out = self.backend.gemm_strided_batched(A3, B3, conjugate_a=conjugate_a)
             return list(out)
         return self.backend.gemm_batched(
@@ -174,23 +175,20 @@ class BatchedFactorization:
             # formulation of equation (9) is used; with ``pivot=False`` the
             # paper's alternative (identities on the diagonal, right-hand-side
             # block rows swapped) avoids the need for partial pivoting.
-            eye = np.eye(r, dtype=self.Ybig.dtype)
-            K_blocks = []
-            for i, gamma in enumerate(gammas):
-                Ta, Tb = T_blocks[2 * i], T_blocks[2 * i + 1]
-                K = np.zeros((2 * r, 2 * r), dtype=self.Ybig.dtype)
-                if self.pivot:
-                    K[:r, :r] = Ta
-                    K[:r, r:] = eye
-                    K[r:, :r] = eye
-                    K[r:, r:] = Tb
-                else:
-                    K[:r, :r] = eye
-                    K[:r, r:] = Tb
-                    K[r:, :r] = Ta
-                    K[r:, r:] = eye
-                K_blocks.append(K)
-            K_stacked = np.stack(K_blocks)
+            xb = self.backend.array_backend
+            eye = xb.eye(r, dtype=self.Ybig.dtype)
+            T3 = xb.stack(list(T_blocks))
+            K_stacked = xb.zeros((len(gammas), 2 * r, 2 * r), dtype=self.Ybig.dtype)
+            if self.pivot:
+                K_stacked[:, :r, :r] = T3[0::2]
+                K_stacked[:, :r, r:] = eye
+                K_stacked[:, r:, :r] = eye
+                K_stacked[:, r:, r:] = T3[1::2]
+            else:
+                K_stacked[:, :r, :r] = eye
+                K_stacked[:, :r, r:] = T3[1::2]
+                K_stacked[:, r:, :r] = T3[0::2]
+                K_stacked[:, r:, r:] = eye
             self.k_lu[level] = self.backend.getrf_batched(K_stacked, pivot=self.pivot)
 
             if not ncoarse:
@@ -219,9 +217,10 @@ class BatchedFactorization:
         the diagonal (so non-pivoted LU is safe); the *solution* ordering is
         unchanged in both cases.
         """
+        xb = self.backend.array_backend
         if self.pivot:
-            return np.vstack([block_a, block_b])
-        return np.vstack([block_b, block_a])
+            return xb.concat([block_a, block_b])
+        return xb.concat([block_b, block_a])
 
     # ------------------------------------------------------------------
     # Algorithm 4: solution stage
@@ -234,12 +233,13 @@ class BatchedFactorization:
         tree = data.tree
         rec = get_recorder()
 
-        b = np.asarray(b)
+        b = self.backend.array_backend.asarray(b)
         if b.shape[0] != data.n:
             raise ValueError(f"right-hand side has {b.shape[0]} rows, expected {data.n}")
         squeeze = b.ndim == 1
-        x = np.array(b.reshape(-1, 1) if squeeze else b,
-                     dtype=np.result_type(b.dtype, self.Ybig.dtype), copy=True)
+        x = (b.reshape(-1, 1) if squeeze else b).astype(
+            np.result_type(b.dtype, self.Ybig.dtype), copy=True
+        )
 
         with rec.recording() as trace:
             if record_transfer:

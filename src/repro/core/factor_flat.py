@@ -117,9 +117,9 @@ class FlatFactorization:
             T_blocks = gemm_batched(
                 V_blocks, Y_blocks, conjugate_a=True, backend=xb, policy=pol
             )
-            T3 = np.stack(T_blocks)
-            K3 = np.zeros((len(gammas), 2 * r, 2 * r), dtype=self.Ybig.dtype)
-            eye = np.eye(r, dtype=self.Ybig.dtype)
+            T3 = xb.stack(T_blocks)
+            K3 = xb.zeros((len(gammas), 2 * r, 2 * r), dtype=self.Ybig.dtype)
+            eye = xb.eye(r, dtype=self.Ybig.dtype)
             K3[:, :r, :r] = T3[0::2]
             K3[:, :r, r:] = eye
             K3[:, r:, :r] = eye
@@ -138,7 +138,7 @@ class FlatFactorization:
                 V_blocks, Yc_blocks, conjugate_a=True, backend=xb, policy=pol
             )
             K_rhs = [
-                np.concatenate([rhs_blocks[2 * i], rhs_blocks[2 * i + 1]])
+                xb.concat([rhs_blocks[2 * i], rhs_blocks[2 * i + 1]])
                 for i in range(len(gammas))
             ]
             W = getrs_batched(k_batch, K_rhs, backend=xb, policy=pol)
@@ -164,12 +164,13 @@ class FlatFactorization:
         tree = data.tree
         xb = self._backend()
         pol = self.policy
-        b = np.asarray(b)
+        b = xb.asarray(b)
         if b.shape[0] != data.n:
             raise ValueError(f"right-hand side has {b.shape[0]} rows, expected {data.n}")
         squeeze = b.ndim == 1
-        x = np.array(b.reshape(-1, 1) if squeeze else b,
-                     dtype=np.result_type(b.dtype, self.Ybig.dtype), copy=True)
+        x = (b.reshape(-1, 1) if squeeze else b).astype(
+            np.result_type(b.dtype, self.Ybig.dtype), copy=True
+        )
 
         # lines 2-4: one batched substitution over all leaf blocks
         leaves = tree.leaves
@@ -197,7 +198,7 @@ class FlatFactorization:
                 V_blocks, x_blocks, conjugate_a=True, backend=xb, policy=pol
             )
             K_rhs = [
-                np.concatenate([w_blocks[2 * i], w_blocks[2 * i + 1]])
+                xb.concat([w_blocks[2 * i], w_blocks[2 * i + 1]])
                 for i in range(len(gammas))
             ]
             w = getrs_batched(self._k_batch[level], K_rhs, backend=xb, policy=pol)

@@ -87,12 +87,14 @@ class RecursiveFactorization:
         Vb = self.hodlr.V[right.index]
         r1 = Y_left.shape[1]
         r2 = Y_right.shape[1]
-        K = np.zeros((r1 + r2, r1 + r2), dtype=np.result_type(Y_left.dtype, Vb.dtype))
+        xb = self._backend()
+        dtype = np.result_type(Y_left.dtype, Vb.dtype)
+        K = xb.zeros((r1 + r2, r1 + r2), dtype=dtype)
         K[:r2, :r1] = Va.conj().T @ Y_left
-        K[:r2, r1:] = np.eye(r2)
-        K[r2:, :r1] = np.eye(r1)
+        K[:r2, r1:] = xb.eye(r2, dtype=dtype)
+        K[r2:, :r1] = xb.eye(r1, dtype=dtype)
         K[r2:, r1:] = Vb.conj().T @ Y_right
-        lu, piv = self._backend().lu_factor(K)
+        lu, piv = xb.lu_factor(K)
         self.k_lu[node.index] = (lu, piv)
 
     def _apply_node_inverse(self, node: TreeNode, rhs: np.ndarray) -> np.ndarray:
@@ -103,7 +105,7 @@ class RecursiveFactorization:
         of equation (7)/(8).
         """
         tree = self.hodlr.tree
-        rhs = np.asarray(rhs)
+        rhs = self._backend().asarray(rhs)
         squeeze = rhs.ndim == 1
         B = rhs.reshape(-1, 1) if squeeze else rhs
 
@@ -129,12 +131,13 @@ class RecursiveFactorization:
         # right-hand side ordered to match K's block rows: (V_left^* z_left) on
         # top (r2 rows), (V_right^* z_right) below (r1 rows); the solution is
         # ordered by K's block columns: w_left (r1 rows) then w_right (r2 rows).
-        rhs_small = np.vstack([Va.conj().T @ z_left, Vb.conj().T @ z_right])
+        xb = self._backend()
+        rhs_small = xb.concat([Va.conj().T @ z_left, Vb.conj().T @ z_right])
         lu, piv = self.k_lu[node.index]
-        w = self._backend().lu_solve(lu, piv, rhs_small)
+        w = xb.lu_solve(lu, piv, rhs_small)
         w_left, w_right = w[:r1], w[r1:]
 
-        out = np.empty_like(B, dtype=np.result_type(B.dtype, Y_left.dtype))
+        out = xb.zeros(B.shape, dtype=np.result_type(B.dtype, Y_left.dtype))
         out[sl_l] = z_left - Y_left @ w_left
         out[sl_r] = z_right - Y_right @ w_right
         return out.ravel() if squeeze else out

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..backends.context import ExecutionContext, resolve_context
 from ..backends.dispatch import ArrayBackend, DispatchPolicy, plan_batch
 from .apply_plan import ApplyPlan
 from .cluster_tree import ClusterTree, TreeNode
@@ -122,6 +123,7 @@ class HODLRMatrix:
         self,
         backend: Optional[ArrayBackend] = None,
         force: bool = False,
+        context: Optional[ExecutionContext] = None,
     ) -> ApplyPlan:
         """Compile (and cache) the bucketed batched apply plan.
 
@@ -137,9 +139,13 @@ class HODLRMatrix:
         snapshots the current blocks — call :meth:`clear_apply_plan` (or
         ``build_apply_plan(force=True)``) after mutating ``diag``/``U``/``V``
         in place.
+
+        ``context`` carries the backend *and* the
+        :class:`~repro.backends.context.PrecisionPolicy`: a policy with
+        ``plan="float32"`` compiles the half-traffic mixed-precision plan.
         """
         if self._apply_plan is None or force:
-            self._apply_plan = ApplyPlan(self, backend=backend)
+            self._apply_plan = ApplyPlan(self, backend=backend, context=context)
         return self._apply_plan
 
     def clear_apply_plan(self) -> None:
@@ -154,14 +160,16 @@ class HODLRMatrix:
     # ------------------------------------------------------------------
     # arithmetic
     # ------------------------------------------------------------------
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: np.ndarray, use_plan: bool = True) -> np.ndarray:
         """Multiply the HODLR matrix by a vector or a block of vectors.
 
         Uses the compiled bucketed apply plan when one has been built
         (:meth:`build_apply_plan`); otherwise walks the tree one block at a
-        time.
+        time.  ``use_plan=False`` forces the tree walk — callers needing the
+        *stored* precision (e.g. iterative refinement residuals) use this to
+        bypass a cached mixed-precision plan.
         """
-        if self._apply_plan is not None:
+        if use_plan and self._apply_plan is not None:
             return self._apply_plan.matvec(x)
         x = np.asarray(x)
         squeeze = x.ndim == 1
@@ -309,10 +317,10 @@ def _probe_multi(multi, rows: np.ndarray) -> bool:
         return False
     k = min(2, rows.size)
     try:
-        out = np.asarray(multi(rows[None, :k], rows[None, :k]))
+        out = multi(rows[None, :k], rows[None, :k])
     except Exception:
         return False
-    return out.shape == (1, k, k)
+    return np.shape(out) == (1, k, k)
 
 
 #: cap on the entry count of one gathered block stack (~0.5 GB of float64);
@@ -320,7 +328,15 @@ def _probe_multi(multi, rows: np.ndarray) -> bool:
 _MAX_GATHER_ELEMENTS = 1 << 26
 
 
-def _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
+def _coerce_stack(stack, dtype, xb):
+    """Backend array of ``dtype`` without detouring device stacks to the host."""
+    stack = xb.asarray(stack)
+    if stack.dtype != np.dtype(dtype):
+        stack = stack.astype(dtype)
+    return stack
+
+
+def _gather_chunks(evaluator, multi, row_sets, col_sets, dtype, xb):
     """Yield ``(indices, stack)`` chunks of equal-shape blocks.
 
     Blocks sharing a shape are grouped into buckets and evaluated directly
@@ -330,7 +346,8 @@ def _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
     ``evaluator`` fallback otherwise.  Buckets larger than the gather cap
     are split so peak memory stays bounded; each yielded stack is the only
     materialisation of its blocks (consumers compress it in place and drop
-    it before the next chunk is evaluated).
+    it before the next chunk is evaluated).  Stacks are coerced through the
+    context's backend, so a device-resident evaluator yields device stacks.
     """
     nblocks = len(row_sets)
     plan = plan_batch([(row_sets[i].size, col_sets[i].size) for i in range(nblocks)])
@@ -343,10 +360,10 @@ def _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
             if multi is not None:
                 rows2 = np.stack([row_sets[i] for i in chunk])
                 cols2 = np.stack([col_sets[i] for i in chunk])
-                stack = np.asarray(multi(rows2, cols2), dtype=dtype)
+                stack = _coerce_stack(multi(rows2, cols2), dtype, xb)
             else:
-                stack = np.stack(
-                    [np.asarray(evaluator(row_sets[i], col_sets[i]), dtype=dtype)
+                stack = xb.stack(
+                    [_coerce_stack(evaluator(row_sets[i], col_sets[i]), dtype, xb)
                      for i in chunk]
                 )
             yield chunk, stack
@@ -362,6 +379,7 @@ def build_hodlr(
     dtype=None,
     backend: Optional[ArrayBackend] = None,
     dispatch_policy: Optional[DispatchPolicy] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> HODLRMatrix:
     """Build a HODLR approximation of ``source`` over ``tree``.
 
@@ -381,11 +399,17 @@ def build_hodlr(
         ``config.construction`` selects the level-major batched schedule
         (default) or the node-major per-block loop.
     dtype:
-        Storage dtype; defaults to the dtype produced by the evaluator.
-    backend, dispatch_policy:
-        Array backend and bucketing policy for the batched construction
-        kernels (``None`` = NumPy with the default policy).
+        Storage dtype; defaults to the dtype produced by the evaluator,
+        then filtered through the context's precision policy.
+    context:
+        The :class:`~repro.backends.context.ExecutionContext` the batched
+        construction runs on — backend, bucketing policy, and storage
+        precision in one object.  A device-resident context keeps the
+        gathered blocks and compressed bases on the device.  The legacy
+        ``backend=``/``dispatch_policy=`` pair is still accepted and is
+        folded into a context.
     """
+    context = resolve_context(context, backend, dispatch_policy)
     if config is None:
         config = CompressionConfig()
     if tol is not None or method is not None or max_rank is not None:
@@ -400,7 +424,9 @@ def build_hodlr(
             f"construction must be 'batched' or 'loop', got {config.construction!r}"
         )
 
-    if isinstance(source, np.ndarray):
+    if isinstance(source, np.ndarray) or (
+        hasattr(source, "ndim") and getattr(source, "ndim", 0) == 2 and not callable(source)
+    ):
         if source.shape != (tree.n, tree.n):
             raise ValueError(
                 f"dense source has shape {source.shape}, expected {(tree.n, tree.n)}"
@@ -411,16 +437,15 @@ def build_hodlr(
     else:
         evaluator, multi = _resolve_evaluator(source)
         if dtype is None:
-            probe = np.asarray(evaluator(np.array([0]), np.array([0])))
-            dtype = probe.dtype
+            probe = evaluator(np.array([0]), np.array([0]))
+            dtype = getattr(probe, "dtype", None) or np.asarray(probe).dtype
 
+    dtype = context.storage_dtype(dtype)
     if config.construction == "loop":
         return _build_hodlr_loop(evaluator, tree, config, dtype)
     if not _probe_multi(multi, tree.leaves[0].indices):
         multi = None
-    return _build_hodlr_batched(
-        evaluator, multi, tree, config, dtype, backend, dispatch_policy
-    )
+    return _build_hodlr_batched(evaluator, multi, tree, config, dtype, context)
 
 
 def _build_hodlr_loop(evaluator, tree, config, dtype) -> HODLRMatrix:
@@ -459,25 +484,26 @@ def _build_hodlr_loop(evaluator, tree, config, dtype) -> HODLRMatrix:
 
 
 def _build_hodlr_batched(
-    evaluator, multi, tree, config, dtype, backend, policy
+    evaluator, multi, tree, config, dtype, context
 ) -> HODLRMatrix:
     """Level-major batched construction.
 
     Per tree level: one gathered evaluation of all sibling off-diagonal
     blocks (bucketed by shape) followed by one batched compression per shape
-    bucket.  ``method="rook"`` keeps its entrywise-lazy per-block
-    compression — materialising the blocks would defeat the
-    ``O((m + n) r)``-entries property — but the diagonal blocks still
-    benefit from the gathered evaluation.
+    bucket, all through the context's backend.  ``method="rook"`` keeps its
+    entrywise-lazy per-block compression — materialising the blocks would
+    defeat the ``O((m + n) r)``-entries property — but the diagonal blocks
+    still benefit from the gathered evaluation.
     """
     diag: Dict[int, np.ndarray] = {}
     U: Dict[int, np.ndarray] = {}
     V: Dict[int, np.ndarray] = {}
+    xb = context.backend
 
     # leaf diagonal blocks: one gather per leaf-size bucket
     leaves = tree.leaves
     leaf_rows = [leaf.indices for leaf in leaves]
-    for chunk, stack in _gather_chunks(evaluator, multi, leaf_rows, leaf_rows, dtype):
+    for chunk, stack in _gather_chunks(evaluator, multi, leaf_rows, leaf_rows, dtype, xb):
         for j, i in enumerate(chunk):
             diag[leaves[i].index] = stack[j]
 
@@ -504,10 +530,10 @@ def _build_hodlr_batched(
             row_sets = [nd.indices for nd in row_nodes]
             col_sets = [nd.indices for nd in col_nodes]
             rng = config.generator()
-            for chunk, stack in _gather_chunks(evaluator, multi, row_sets, col_sets, dtype):
-                compressed = compress_block_stack(
-                    stack, config, backend=backend, policy=policy, rng=rng
-                )
+            for chunk, stack in _gather_chunks(
+                evaluator, multi, row_sets, col_sets, dtype, xb
+            ):
+                compressed = compress_block_stack(stack, config, context=context, rng=rng)
                 for i, f in zip(chunk, compressed):
                     factors[i] = f
 

@@ -16,6 +16,25 @@ import numpy as np
 from scipy import linalg as sla
 
 
+def _as_contiguous(a):
+    """C-contiguous array without forcing device arrays to the host.
+
+    Host inputs go through :func:`np.ascontiguousarray` as before; arrays
+    from another backend (CuPy, a recording stub) are kept as-is — a
+    ``copy(order="C")`` only when non-contiguous — so factor storage stays
+    device-resident.
+    """
+    if not hasattr(a, "ndim"):
+        return np.ascontiguousarray(a)
+    flags = getattr(a, "flags", None)
+    contiguous = getattr(flags, "c_contiguous", None)
+    if contiguous is None and flags is not None:
+        contiguous = flags["C_CONTIGUOUS"]
+    if contiguous is False:
+        return a.copy(order="C") if hasattr(a, "copy") else np.ascontiguousarray(a)
+    return a
+
+
 @dataclass
 class LowRankFactor:
     """A rank-``r`` factorization ``B = U @ V.conj().T`` of an ``m x n`` block."""
@@ -24,8 +43,8 @@ class LowRankFactor:
     V: np.ndarray
 
     def __post_init__(self) -> None:
-        self.U = np.ascontiguousarray(self.U)
-        self.V = np.ascontiguousarray(self.V)
+        self.U = _as_contiguous(self.U)
+        self.V = _as_contiguous(self.V)
         if self.U.ndim != 2 or self.V.ndim != 2:
             raise ValueError("U and V must be 2-D")
         if self.U.shape[1] != self.V.shape[1]:

@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..backends.batched import BatchedBackend
+from ..backends.context import ExecutionContext, resolve_context
 from ..backends.counters import KernelTrace
 from ..backends.dispatch import ArrayBackend, DispatchPolicy
 from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
@@ -52,6 +53,37 @@ from .factor_recursive import RecursiveFactorization
 from .hodlr import HODLRMatrix
 
 _VARIANTS = ("recursive", "flat", "batched")
+
+#: registered non-builtin variants: ``factory(hodlr, solver) -> impl`` where
+#: ``impl`` provides at least ``solve(b)`` (``slogdet``/``logdet``/
+#: ``factorization_nbytes`` are picked up when present)
+_VARIANT_FACTORIES: Dict[str, Callable[[HODLRMatrix, "HODLRSolver"], Any]] = {}
+
+
+def register_solver_variant(
+    name: str,
+    factory: Callable[[HODLRMatrix, "HODLRSolver"], Any],
+    overwrite: bool = False,
+) -> None:
+    """Register a solver variant usable as ``SolverConfig(variant=name)``.
+
+    ``factory(hodlr, solver)`` receives the (dtype-cast) HODLR matrix and
+    the owning :class:`HODLRSolver` and must return a *factorized* object
+    with ``solve(b)``.  The baseline solvers (``dense_lu``,
+    ``block_sparse``, ``hodlrlib_cpu``) register themselves through this
+    hook, so paper-table comparisons run through the same ``repro.solve``
+    facade as the HODLR variants.
+    """
+    if name in _VARIANTS:
+        raise ValueError(f"variant {name!r} is built in")
+    if not overwrite and name in _VARIANT_FACTORIES:
+        raise ValueError(f"solver variant {name!r} is already registered")
+    _VARIANT_FACTORIES[name] = factory
+
+
+def available_solver_variants() -> List[str]:
+    """All accepted ``variant`` names: the built-ins plus registered ones."""
+    return list(_VARIANTS) + sorted(_VARIANT_FACTORIES)
 
 
 @dataclass
@@ -104,6 +136,10 @@ class HODLRSolver:
         Shape-bucketing policy for the batched primitives; see
         :class:`~repro.backends.dispatch.DispatchPolicy`.  ``None`` uses the
         default (bucketing enabled).
+    context:
+        An :class:`~repro.backends.context.ExecutionContext` carrying the
+        backend, dispatch policy, and precision in one object — the
+        preferred spelling, superseding ``backend=``/``dispatch_policy=``.
     """
 
     def __init__(
@@ -115,11 +151,14 @@ class HODLRSolver:
         stream_cutoff: int = 4,
         backend: Optional[Union[str, ArrayBackend, BatchedBackend]] = None,
         dispatch_policy: Optional[DispatchPolicy] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
-        if variant not in _VARIANTS:
-            raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+        if variant not in _VARIANTS and variant not in _VARIANT_FACTORIES:
+            raise ValueError(
+                f"variant must be one of {tuple(available_solver_variants())}, "
+                f"got {variant!r}"
+            )
         self.variant = variant
-        self.hodlr = hodlr if dtype is None else hodlr.astype(dtype)
         self.pivot = pivot
         self.stream_cutoff = stream_cutoff
         if isinstance(backend, BatchedBackend):
@@ -128,9 +167,17 @@ class HODLRSolver:
                 # fault-injecting test backends) keep their behaviour
                 backend.policy = dispatch_policy
             self.backend = backend
+            self.context = resolve_context(
+                context, backend.array_backend, backend.policy
+            )
         else:
-            # a registered backend name, a bare ArrayBackend, or None
-            self.backend = BatchedBackend(array_backend=backend, policy=dispatch_policy)
+            # a registered backend name, a bare ArrayBackend, a context, or None
+            self.context = resolve_context(context, backend, dispatch_policy)
+            self.backend = BatchedBackend(context=self.context)
+        # dtype=None means "hodlr is already at the target dtype" — the
+        # context's precision.storage reaches here through from_config's
+        # dtype argument, never implicitly
+        self.hodlr = hodlr if dtype is None else hodlr.astype(dtype)
         self.stats = SolveStats()
         self._impl: Optional[
             Union[RecursiveFactorization, FlatFactorization, BatchedFactorization]
@@ -143,20 +190,26 @@ class HODLRSolver:
     def from_config(cls, hodlr: HODLRMatrix, config, dtype=_UNSET) -> "HODLRSolver":
         """Construct from a :class:`repro.api.config.SolverConfig`.
 
-        ``config`` is duck-typed (any object with ``variant``, ``backend``,
-        ``dispatch_policy``, ``pivot``, ``stream_cutoff``, and
-        ``numpy_dtype`` attributes works).  ``dtype`` overrides the config's
-        dtype when given — pass ``dtype=None`` explicitly if ``hodlr`` is
-        already stored at the target dtype to skip the cast.
+        ``config`` is duck-typed (any object with ``variant``, ``pivot``,
+        ``stream_cutoff``, ``numpy_dtype``, and either an
+        ``execution_context()`` method or ``backend``/``dispatch_policy``
+        attributes).  ``dtype`` overrides the config's dtype when given —
+        pass ``dtype=None`` explicitly if ``hodlr`` is already stored at the
+        target dtype to skip the cast.
         """
+        make_context = getattr(config, "execution_context", None)
+        kwargs: Dict[str, Any] = (
+            {"context": make_context()}
+            if callable(make_context)
+            else {"backend": config.backend, "dispatch_policy": config.dispatch_policy}
+        )
         return cls(
             hodlr,
             variant=config.variant,
             dtype=config.numpy_dtype if dtype is cls._UNSET else dtype,
             pivot=config.pivot,
             stream_cutoff=config.stream_cutoff,
-            backend=config.backend,
-            dispatch_policy=config.dispatch_policy,
+            **kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -171,13 +224,13 @@ class HODLRSolver:
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         elif self.variant == "flat":
-            self._bigdata = BigMatrices.from_hodlr(self.hodlr)
+            self._bigdata = BigMatrices.from_hodlr(self.hodlr, backend=array_backend)
             self._impl = FlatFactorization(
                 data=self._bigdata, backend=array_backend, policy=self.backend.policy
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
-        else:
-            self._bigdata = BigMatrices.from_hodlr(self.hodlr)
+        elif self.variant == "batched":
+            self._bigdata = BigMatrices.from_hodlr(self.hodlr, backend=array_backend)
             self._impl = BatchedFactorization(
                 data=self._bigdata,
                 backend=self.backend,
@@ -185,6 +238,12 @@ class HODLRSolver:
                 stream_cutoff=self.stream_cutoff,
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
+        else:
+            # a registered (baseline) variant: the factory returns a
+            # factorized object exposing at least solve(b)
+            self._impl = _VARIANT_FACTORIES[self.variant](self.hodlr, self)
+            nbytes = getattr(self._impl, "factorization_nbytes", None)
+            self.stats.factorization_bytes = int(nbytes()) if callable(nbytes) else 0
         self.stats.factor_seconds = time.perf_counter() - t0
         return self
 
@@ -218,13 +277,21 @@ class HODLRSolver:
 
         Norms are routed through the active :class:`ArrayBackend`, so
         device-resident ``x``/``b`` (e.g. CuPy arrays) are handled without
-        forcing a NumPy conversion; the HODLR matvec itself runs on the
-        host, which is where the compressed blocks live.
+        forcing a NumPy conversion.  The matvec runs where the compressed
+        blocks live: host NumPy blocks multiply a host copy of ``x``
+        (device arrays are transferred once), device-resident blocks (a
+        construction run on the context's backend) multiply the
+        device-resident ``x`` directly — no host/device mixing either way.
         """
         ab = self.backend.array_backend
         b_arr = ab.asarray(b)
-        x_host = ab.to_host(ab.asarray(x))
-        r = b_arr - ab.from_host(np.asarray(self.hodlr.matvec(x_host)))
+        first_block = next(iter(self.hodlr.diag.values()))
+        if type(first_block) is np.ndarray:
+            x_host = ab.to_host(ab.asarray(x))
+            Ax = ab.from_host(np.asarray(self.hodlr.matvec(x_host)))
+        else:
+            Ax = ab.asarray(self.hodlr.matvec(ab.asarray(x)))
+        r = b_arr - Ax
         num = float(ab.to_host(ab.norm(r)))
         denom = float(ab.to_host(ab.norm(b_arr)))
         return num / denom if denom > 0 else num
@@ -236,10 +303,22 @@ class HODLRSolver:
     # determinant
     # ------------------------------------------------------------------
     def slogdet(self) -> Tuple[complex, float]:
-        return self._require_factored().slogdet()
+        impl = self._require_factored()
+        fn = getattr(impl, "slogdet", None)
+        if fn is None:
+            raise NotImplementedError(
+                f"variant {self.variant!r} does not expose slogdet"
+            )
+        return fn()
 
     def logdet(self) -> float:
-        return self._require_factored().logdet()
+        impl = self._require_factored()
+        fn = getattr(impl, "logdet", None)
+        if fn is None:
+            raise NotImplementedError(
+                f"variant {self.variant!r} does not expose logdet"
+            )
+        return fn()
 
     # ------------------------------------------------------------------
     # traces & performance modeling (batched variant only)

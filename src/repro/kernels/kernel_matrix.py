@@ -19,6 +19,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..backends.context import ExecutionContext
 from ..core.cluster_tree import ClusterTree
 from ..core.compression import CompressionConfig
 from ..core.hodlr import HODLRMatrix, build_hodlr
@@ -28,7 +29,13 @@ KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 @dataclass
 class KernelMatrix:
-    """A kernel matrix ``K[i, j] = kernel(points[i], points[j])`` (+ diagonal shift)."""
+    """A kernel matrix ``K[i, j] = kernel(points[i], points[j])`` (+ diagonal shift).
+
+    ``points`` may live on any backend: device-resident points (e.g. CuPy
+    arrays placed via :meth:`ExecutionContext.to_device`) evaluate blocks on
+    the device, which is what lets HODLR construction run device-resident
+    end to end.
+    """
 
     kernel: KernelFn
     points: np.ndarray
@@ -36,7 +43,11 @@ class KernelMatrix:
     diagonal_shift: float = 0.0
 
     def __post_init__(self) -> None:
-        pts = np.asarray(self.points, dtype=float)
+        pts = self.points
+        if not hasattr(pts, "ndim"):
+            pts = np.asarray(pts, dtype=float)
+        elif pts.dtype.kind not in "fc":
+            pts = pts.astype(float)
         # 1-D inputs are interpreted as n points on the real line
         self.points = pts.reshape(-1, 1) if pts.ndim == 1 else pts
 
@@ -54,7 +65,9 @@ class KernelMatrix:
     def entries(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
-        block = np.asarray(self.kernel(self.points[rows], self.points[cols]))
+        block = self.kernel(self.points[rows], self.points[cols])
+        if not hasattr(block, "ndim"):
+            block = np.asarray(block)
         if self.diagonal_shift:
             block = self._apply_diagonal_shift(block, rows, cols)
         return block
@@ -120,7 +133,9 @@ class KernelMatrix:
                 f"entries_blocks expects (B, m) rows and (B, n) cols, got "
                 f"{rows.shape} and {cols.shape}"
             )
-        blocks = np.asarray(self.kernel(self.points[rows], self.points[cols]))
+        blocks = self.kernel(self.points[rows], self.points[cols])
+        if not hasattr(blocks, "ndim"):
+            blocks = np.asarray(blocks)
         expected = (rows.shape[0], rows.shape[1], cols.shape[1])
         if blocks.shape != expected:
             raise ValueError(
@@ -168,6 +183,7 @@ class KernelMatrix:
         max_rank: Optional[int] = None,
         reorder: bool = True,
         construction: str = "batched",
+        context: Optional[ExecutionContext] = None,
     ) -> Tuple[HODLRMatrix, np.ndarray]:
         """Build a HODLR approximation of the kernel matrix.
 
@@ -177,20 +193,34 @@ class KernelMatrix:
         the points already follow a space-filling order, e.g. a contour).
         ``construction="batched"`` (default) builds level-major through the
         batched kernels; ``"loop"`` is the per-block baseline.
+
+        ``context`` selects where construction runs: a device-resident
+        :class:`~repro.backends.context.ExecutionContext` moves the points
+        to the device once and the gathered level evaluations, batched
+        compressions, and resulting HODLR blocks all stay there (the
+        kd-tree ordering itself is computed on the host — it is O(N log N)
+        integer work on coordinates, not part of the hot path).
         """
+        device = context is not None and context.device_resident
         if reorder:
-            tree, perm = ClusterTree.from_points(self.points, leaf_size=leaf_size)
+            # the kd-tree is built from host coordinates (cheap, index-only
+            # work); only non-NumPy point arrays need the explicit transfer
+            host_points = self.points
+            if device and not isinstance(self.points, np.ndarray):
+                host_points = context.to_host(self.points)
+            tree, perm = ClusterTree.from_points(host_points, leaf_size=leaf_size)
         else:
             tree = ClusterTree.balanced(self.n, leaf_size=leaf_size)
             perm = np.arange(self.n)
 
+        points = context.to_device(self.points) if device else self.points
         permuted = KernelMatrix(
-            kernel=self.kernel, points=self.points[perm], diagonal_shift=self.diagonal_shift
+            kernel=self.kernel, points=points[perm], diagonal_shift=self.diagonal_shift
         )
         config = CompressionConfig(
             tol=tol, max_rank=max_rank, method=method, construction=construction
         )
         # the KernelMatrix itself is passed (not just ``entries``) so the
         # builder can use the gather-based multi-block evaluator
-        hodlr = build_hodlr(permuted, tree, config=config)
+        hodlr = build_hodlr(permuted, tree, config=config, context=context)
         return hodlr, perm

@@ -20,6 +20,22 @@ import numpy as np
 from scipy.special import gamma, kv
 
 
+def _as_float_points(X):
+    """Float array of points, preserving the array's home (host or device).
+
+    Non-array inputs (lists, scalars) are coerced through NumPy as before;
+    arrays from any backend (NumPy, CuPy, a recording stub) are kept where
+    they live — only a dtype cast via the array's own ``astype`` — so the
+    level-major construction can evaluate kernels on device-resident point
+    blocks without a host round-trip.
+    """
+    if not hasattr(X, "ndim"):
+        X = np.asarray(X, dtype=float)
+    elif X.dtype.kind not in "fc":
+        X = X.astype(float)
+    return X[None, :] if X.ndim == 1 else X
+
+
 def pairwise_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     """Euclidean distance matrix between two point sets, shape ``(|X|, |Y|)``.
 
@@ -27,16 +43,19 @@ def pairwise_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     point blocks ``(B, m, d)`` against ``(B, n, d)`` yields the ``(B, m, n)``
     stack of distance matrices in one call.  This is what lets the
     level-major HODLR construction evaluate every off-diagonal block of a
-    tree level with a single kernel invocation.
+    tree level with a single kernel invocation.  All operations are array
+    methods or NumPy ufuncs (which dispatch on the operand's array type),
+    so device-resident point blocks produce device-resident distances.
     """
-    X = np.atleast_2d(np.asarray(X, dtype=float))
-    Y = np.atleast_2d(np.asarray(Y, dtype=float))
+    X = _as_float_points(X)
+    Y = _as_float_points(Y)
     # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped for round-off
     sq = (
-        np.sum(X * X, axis=-1)[..., :, None]
-        + np.sum(Y * Y, axis=-1)[..., None, :]
-        - 2.0 * np.matmul(X, np.swapaxes(Y, -1, -2))
+        (X * X).sum(axis=-1)[..., :, None]
+        + (Y * Y).sum(axis=-1)[..., None, :]
+        - 2.0 * (X @ Y.swapaxes(-1, -2))
     )
+    # in place: the gathered construction chunks are large and sq is owned
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq)
 
