@@ -59,6 +59,7 @@ from .core.compression import (
     randomized_compress_batched,
 )
 from .core.apply_plan import ApplyPlan
+from .core.factor_plan import FactorPlan, SolvePlan, build_factor_plan
 from .core.hodlr import HODLRMatrix, build_hodlr, build_hodlr_from_dense
 from .core.bigdata import BigMatrices
 from .core.factor_recursive import RecursiveFactorization
@@ -158,6 +159,9 @@ __all__ = [
     "randomized_compress",
     "randomized_compress_batched",
     "ApplyPlan",
+    "FactorPlan",
+    "SolvePlan",
+    "build_factor_plan",
     "HODLRMatrix",
     "build_hodlr",
     "build_hodlr_from_dense",

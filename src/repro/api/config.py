@@ -212,8 +212,12 @@ class SolverConfig:
         Nested :class:`CompressionConfig` (accepts a dict form too).
     precision:
         Nested :class:`~repro.backends.context.PrecisionPolicy` (accepts a
-        dict form too): apply-plan dtype demotion, accumulation dtype, and
-        iterative-refinement for direct solves.  ``precision.storage``
+        dict form too): apply-plan dtype demotion (``plan``/
+        ``plan_min_level``), factor-plan storage demotion (``factor``/
+        ``factor_min_level`` — the packed LU/K/Y stacks the compiled
+        :class:`~repro.core.factor_plan.SolvePlan` streams), accumulation
+        dtype, and iterative refinement for direct solves.  All fields
+        round-trip through ``to_dict``/``from_dict``.  ``precision.storage``
         defaults to ``dtype`` when unset, so the two spellings agree.
     """
 

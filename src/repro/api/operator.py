@@ -267,9 +267,13 @@ class HODLROperator(LinearOperator):
         if target != self._factor_dtype:
             self._invalidate(target)
         b_t = b.astype(target) if b_dtype != target else b
-        refine = (
-            ctx.precision.refine
-            and np.dtype(wide_dtype).itemsize > np.dtype(target).itemsize
+        # refinement applies when the factorization is narrower than the
+        # matrix — either through the storage dtype (float32 factorization
+        # of a float64 problem) or through demoted FactorPlan storage
+        # (PrecisionPolicy(factor="float32") with full-precision blocks)
+        refine = ctx.precision.refine and (
+            np.dtype(wide_dtype).itemsize > np.dtype(target).itemsize
+            or ctx.precision.demotes_factor(wide_dtype)
         )
         stats = self.solver.stats
         solves_before = stats.num_solves
@@ -366,6 +370,14 @@ class HODLROperator(LinearOperator):
     @property
     def last_solve_trace(self) -> Optional[KernelTrace]:
         return self.solver.last_solve_trace
+
+    @property
+    def solve_plan(self):
+        """The compiled :class:`~repro.core.factor_plan.SolvePlan` the
+        operator's solves replay (``None`` until the first factorization)."""
+        if self._solver is None:
+            return None
+        return self._solver.solve_plan
 
     def modeled_times(
         self, model: Optional[PerformanceModel] = None

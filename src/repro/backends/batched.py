@@ -61,6 +61,8 @@ from .dispatch import (
     ArrayBackend,
     DispatchPolicy,
     get_backend,
+    pad_identity_stack,
+    pad_pivot_stack,
     plan_batch,
     plan_batch_padded,
 )
@@ -309,8 +311,15 @@ def _gemm_padded(A, B, C, alpha, beta, transpose_a, conjugate_a, xb, pol):
         padded = any(dims[i] != bucket.key for i in idx)
         if pol.pack_gemm_bucket(len(idx), a0 * a1, k * n):
             if padded:
-                A3 = xb.zeros((len(idx), a0, a1), dtype=dtype)
-                B3 = xb.zeros((len(idx), k, n), dtype=dtype)
+                # promote over every member: a merged bucket may mix real
+                # and complex operands, and the first member's dtype alone
+                # would silently truncate the others
+                bucket_dtype = np.result_type(
+                    *[_elem_dtype(A[i]) for i in idx],
+                    *[_elem_dtype(B[i]) for i in idx],
+                )
+                A3 = xb.zeros((len(idx), a0, a1), dtype=bucket_dtype)
+                B3 = xb.zeros((len(idx), k, n), dtype=bucket_dtype)
                 for j, i in enumerate(idx):
                     ai0, ai1, ni = dims[i]
                     A3[j, :ai0, :ai1] = A[i]
@@ -331,7 +340,12 @@ def _gemm_padded(A, B, C, alpha, beta, transpose_a, conjugate_a, xb, pol):
             out3 = alpha * xb.matmul(opA3, B3)
             if C is not None and beta != 0.0:
                 if padded:
-                    C3 = xb.zeros((len(idx), m, n), dtype=dtype)
+                    C3 = xb.zeros(
+                        (len(idx), m, n),
+                        dtype=np.result_type(
+                            bucket_dtype, *[_elem_dtype(C[i]) for i in idx]
+                        ),
+                    )
                     for j, i in enumerate(idx):
                         Ci = C[i]
                         Ci = Ci.reshape(-1, 1) if np.ndim(Ci) == 1 else Ci
@@ -390,13 +404,15 @@ def gemm_strided_batched(
     conjugate_a: bool = False,
     backend: Optional[ArrayBackend] = None,
     context=None,
+    plan: bool = False,
 ) -> np.ndarray:
     """Strided batched GEMM over 3-D operands (``batch x m x k`` etc.).
 
     This is the fast path the paper exploits when all low-rank bases at a
     level share the same shape (constant stride between consecutive
     problems).  Internally a single broadcasted ``matmul`` performs the
-    whole batch.
+    whole batch.  ``plan=True`` marks the recorded event as a compiled-plan
+    replay launch (see :class:`~repro.backends.counters.KernelEvent`).
     """
     if A.ndim != 3 or B.ndim != 3:
         raise ValueError("gemm_strided_batched expects 3-D operands")
@@ -424,6 +440,7 @@ def gemm_strided_batched(
             bytes_moved=float(_storage_nbytes(A) + _storage_nbytes(B) + out.nbytes),
             dtype_size=out.dtype.itemsize,
             strided=True,
+            plan=plan,
         )
     )
     return out
@@ -591,6 +608,9 @@ def getrf_batched(
                    dtype, strided=strided_in, buckets=1)
         return BatchedLU(lu=lus, piv=pivs, pivot=pivot)  # type: ignore[arg-type]
 
+    if pol.pad_buckets:
+        return _getrf_padded(A, nbatch, pivot, xb, pol)
+
     plan = plan_batch([np.shape(A[i]) for i in range(nbatch)])
     for bucket in plan.buckets:
         if len(bucket.key) != 2 or bucket.key[0] != bucket.key[1]:
@@ -620,6 +640,66 @@ def getrf_batched(
         if len(idx) > rep_size:
             rep_size = len(idx)
             shape_rep = (n, n, 0)
+    _record_lu("getrf_batched", nbatch, shape_rep, total_flops, total_bytes,
+               dtype, strided=True, buckets=plan.num_buckets)
+    return BatchedLU(lu=lus, piv=pivs, pivot=pivot)  # type: ignore[arg-type]
+
+
+def _getrf_padded(A, nbatch, pivot, xb, pol):
+    """Pad-to-bucket LU factorization (``DispatchPolicy.pad_buckets``).
+
+    Near-equal sizes merge into one **identity-bordered** padded bucket:
+    the padded problem is ``blkdiag(A_i, I)``, whose LU factor is exactly
+    ``blkdiag(LU(A_i), I)`` — partial pivoting never selects a border row
+    (they are zero in every ``A`` column) — so slicing the leading block of
+    the padded factor recovers the *exact* unpadded factorization.  Unlike
+    gemm padding there is no approximation anywhere; accounting charges the
+    padded shapes, which is what the device would execute.
+    """
+    dims = []
+    for i in range(nbatch):
+        shape = np.shape(A[i])
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise ValueError("getrf_batched requires square matrices")
+        dims.append(shape)
+    plan = plan_batch_padded(dims, pol.pad_max_waste)
+    dtype = np.result_type(*[_elem_dtype(A[b.indices[0]]) for b in plan.buckets])
+    cplx = _is_complex(dtype)
+    itemsize = np.dtype(dtype).itemsize
+    lus: List[Optional[np.ndarray]] = [None] * nbatch
+    pivs: List[Optional[np.ndarray]] = [None] * nbatch
+    empty_piv = np.empty(0, dtype=np.int64)
+    total_flops = 0.0
+    total_bytes = 0.0
+    shape_rep = (0, 0, 0)
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        n_pad = bucket.key[0]
+        if pol.vectorize_lu_factor(len(idx), n_pad):
+            # the stack dtype must promote over *every* member (a merged
+            # bucket may mix real and complex blocks)
+            bucket_dtype = np.result_type(*[_elem_dtype(A[i]) for i in idx])
+            stack = pad_identity_stack(
+                xb, [xb.asarray(A[i]) for i in idx], n_pad, bucket_dtype
+            )
+            lu3, piv3 = xb.lu_factor_batch(stack, pivot=pivot)
+            for j, i in enumerate(idx):
+                m = dims[i][0]
+                lus[i] = lu3[j, :m, :m]
+                pivs[i] = piv3[j, :m] if pivot else empty_piv
+        else:
+            # a singleton (or tiny) bucket above the vectorisation
+            # crossover: blocked per-problem LAPACK, no padding needed
+            for i in idx:
+                lu, piv = xb.lu_factor(xb.asarray(A[i]), pivot=pivot)
+                lus[i] = lu
+                pivs[i] = piv if pivot else empty_piv
+        total_flops += len(idx) * getrf_flops(n_pad, cplx)
+        total_bytes += float(len(idx) * 2 * n_pad * n_pad * itemsize)
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (n_pad, n_pad, 0)
     _record_lu("getrf_batched", nbatch, shape_rep, total_flops, total_bytes,
                dtype, strided=True, buckets=plan.num_buckets)
     return BatchedLU(lu=lus, piv=pivs, pivot=pivot)  # type: ignore[arg-type]
@@ -672,6 +752,9 @@ def getrs_batched(
                    dtype, strided=strided_in, buckets=1)
         return xs  # type: ignore[return-value]
 
+    if pol.pad_buckets:
+        return _getrs_padded(factors, rhs2d, squeeze, nbatch, xb, pol)
+
     plan = plan_batch(
         [(factors.lu[i].shape[0], rhs2d[i].shape[1]) for i in range(nbatch)]
     )
@@ -701,6 +784,78 @@ def getrs_batched(
         if len(idx) > rep_size:
             rep_size = len(idx)
             shape_rep = (n, nrhs, 0)
+    _record_lu("getrs_batched", nbatch, shape_rep, total_flops, total_bytes,
+               dtype, strided=True, buckets=plan.num_buckets)
+    return xs  # type: ignore[return-value]
+
+
+def _getrs_padded(factors, rhs2d, squeeze, nbatch, xb, pol):
+    """Pad-to-bucket LU solve (``DispatchPolicy.pad_buckets``).
+
+    Factors pad with an identity border and right-hand sides with zero
+    rows/columns: padded rows solve against the appended identity block and
+    padded columns stay zero, so slicing the solution back to the true
+    shape is exact (see :func:`_getrf_padded`).
+    """
+    dims = [(factors.lu[i].shape[0], rhs2d[i].shape[1]) for i in range(nbatch)]
+    plan = plan_batch_padded(dims, pol.pad_max_waste)
+    dtype = np.result_type(*[rhs2d[b.indices[0]].dtype for b in plan.buckets])
+    cplx = _is_complex(dtype)
+    rhs_itemsize = np.dtype(dtype).itemsize
+    xs: List[Optional[np.ndarray]] = [None] * nbatch
+    total_flops = 0.0
+    total_bytes = 0.0
+    shape_rep = (0, 0, 0)
+    rep_size = -1
+    for bucket in plan.buckets:
+        idx = bucket.indices
+        n_pad, nrhs_pad = bucket.key
+        lu_itemsize = factors.lu[idx[0]].dtype.itemsize
+        if pol.vectorize_lu_solve(len(idx), n_pad):
+            padded = any(dims[i] != bucket.key for i in idx)
+            if padded:
+                lu_dtype = np.result_type(*[factors.lu[i].dtype for i in idx])
+                rhs_dtype = np.result_type(
+                    lu_dtype, *[rhs2d[i].dtype for i in idx]
+                )
+                lu3 = pad_identity_stack(
+                    xb, [factors.lu[i] for i in idx], n_pad, lu_dtype
+                )
+                piv3 = pad_pivot_stack(
+                    [factors.piv[i] for i in idx],
+                    [dims[i][0] for i in idx],
+                    n_pad,
+                )
+                rhs3 = xb.zeros((len(idx), n_pad, nrhs_pad), dtype=rhs_dtype)
+                for j, i in enumerate(idx):
+                    n, nrhs = dims[i]
+                    rhs3[j, :n, :nrhs] = rhs2d[i]
+                x3 = xb.lu_solve_batch(lu3, piv3, rhs3, pivot=factors.pivot)
+                for j, i in enumerate(idx):
+                    n, nrhs = dims[i]
+                    x = x3[j, :n, :nrhs]
+                    xs[i] = x.ravel() if squeeze[i] else x
+            else:
+                lu3 = xb.stack([factors.lu[i] for i in idx])
+                piv3 = xb.stack([factors.piv[i] for i in idx]) if factors.pivot else None
+                rhs3 = xb.stack([rhs2d[i] for i in idx])
+                x3 = xb.lu_solve_batch(lu3, piv3, rhs3, pivot=factors.pivot)
+                for j, i in enumerate(idx):
+                    xs[i] = x3[j].ravel() if squeeze[i] else x3[j]
+        else:
+            # above the vectorisation crossover: BLAS-3 substitution per
+            # problem inside the bucket, still one planned launch
+            for i in idx:
+                x = xb.lu_solve(factors.lu[i], factors.piv[i], rhs2d[i],
+                                pivot=factors.pivot)
+                xs[i] = x.ravel() if squeeze[i] else x
+        total_flops += len(idx) * getrs_flops(n_pad, nrhs_pad, cplx)
+        total_bytes += float(
+            len(idx) * (n_pad * n_pad * lu_itemsize + 2 * n_pad * nrhs_pad * rhs_itemsize)
+        )
+        if len(idx) > rep_size:
+            rep_size = len(idx)
+            shape_rep = (n_pad, nrhs_pad, 0)
     _record_lu("getrs_batched", nbatch, shape_rep, total_flops, total_bytes,
                dtype, strided=True, buckets=plan.num_buckets)
     return xs  # type: ignore[return-value]

@@ -100,6 +100,22 @@ class PrecisionPolicy:
         full-precision operator and a single correction solve is applied,
         restoring ~full-precision residuals while the factorization (and
         any Krylov matvecs) stay at the cheap dtype.
+    factor:
+        Dtype of the compiled :class:`~repro.core.factor_plan.FactorPlan`
+        storage — the packed LU factors, pivot systems, and Schur-update
+        bases the triangular-solve sweeps stream.  ``"float32"`` halves the
+        bytes every solve touches; the factorization is *computed* at the
+        working dtype and only the stored stacks are demoted, and the
+        solution vector keeps accumulating at ``accumulate``.  Combine with
+        ``refine=True`` to recover ~full-precision residuals.  ``None``
+        keeps the factors at the matrix dtype.
+    factor_min_level:
+        Demote only factor storage of tree levels ``>= factor_min_level``
+        (leaf diagonal factors count as the deepest level; a level's
+        K/Y/V storage counts at its child level).  ``0`` demotes every
+        level; deep levels hold the many small blocks where the traffic —
+        and the representable mass — concentrates, so deep-only demotion
+        bounds the error.
     """
 
     storage: Optional[str] = None
@@ -107,18 +123,23 @@ class PrecisionPolicy:
     plan_min_level: int = 0
     accumulate: str = "float64"
     refine: bool = False
+    factor: Optional[str] = None
+    factor_min_level: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "storage", _as_dtype_name(self.storage, "storage"))
         object.__setattr__(self, "plan", _as_dtype_name(self.plan, "plan"))
+        object.__setattr__(self, "factor", _as_dtype_name(self.factor, "factor"))
         acc = _as_dtype_name(self.accumulate, "accumulate")
         if acc is None:
             raise ValueError("accumulate dtype cannot be None")
         object.__setattr__(self, "accumulate", acc)
-        if not isinstance(self.plan_min_level, int) or self.plan_min_level < 0:
-            raise ValueError(
-                f"plan_min_level must be a non-negative int, got {self.plan_min_level!r}"
-            )
+        for name in ("plan_min_level", "factor_min_level"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative int, got {value!r}"
+                )
         if not isinstance(self.refine, bool):
             raise ValueError(f"refine must be a bool, got {self.refine!r}")
 
@@ -155,6 +176,24 @@ class PrecisionPolicy:
     def accumulate_dtype(self, matrix_dtype: Any) -> np.dtype:
         """Accumulator dtype for demoted-plan products over ``matrix_dtype`` data."""
         return self._match_kind(np.dtype(self.accumulate), np.dtype(matrix_dtype))
+
+    def factor_dtype(self, matrix_dtype: Any, level: int) -> np.dtype:
+        """Factor-plan storage dtype for factors stored at ``level``.
+
+        Leaf diagonal factors should be queried at the tree's deepest
+        level; a level's K/Y/V storage at its child level.
+        """
+        dt = np.dtype(matrix_dtype)
+        if self.factor is None or level < self.factor_min_level:
+            return dt
+        return self._match_kind(np.dtype(self.factor), dt)
+
+    def demotes_factor(self, matrix_dtype: Any) -> bool:
+        """Does this policy shrink the factor plan below the matrix dtype?"""
+        if self.factor is None:
+            return False
+        dt = np.dtype(matrix_dtype)
+        return self._match_kind(np.dtype(self.factor), dt).itemsize < dt.itemsize
 
 
 @dataclass(frozen=True)
@@ -237,15 +276,23 @@ def resolve_context(
     """Resolve the (new) ``context=`` and the (legacy) ``backend=``/``policy=``
     spellings to one :class:`ExecutionContext`.
 
-    ``context`` wins when given; otherwise a context is assembled from the
-    legacy arguments (both ``None`` returns the shared default).  This is
-    the compatibility shim that lets the old keyword surface keep working
-    while all internal layers speak contexts.
+    Precedence (audited in PR 5): an explicit ``backend=``/``policy=``
+    argument **overrides the matching field of the context**, while every
+    other context field — in particular the :class:`PrecisionPolicy` — is
+    preserved.  Earlier revisions raised on the combination, which forced
+    callers that had a precision-carrying context (e.g. one built from
+    ``SolverConfig.precision``) to drop either their explicit dispatch
+    policy or the precision policy; merging keeps both.  With no context, a
+    context is assembled from the legacy arguments (both ``None`` returns
+    the shared default).
     """
     if context is not None:
-        if backend is not None or policy is not None:
-            raise TypeError("pass either context= or backend=/policy=, not both")
-        return context
+        changes = {}
+        if backend is not None and backend is not context.backend:
+            changes["backend"] = backend
+        if policy is not None and policy is not context.policy:
+            changes["policy"] = policy
+        return context.replace(**changes) if changes else context
     if backend is None and policy is None:
         return DEFAULT_CONTEXT
     return ExecutionContext(

@@ -58,6 +58,13 @@ class KernelEvent:
         Tree level that issued the launch, if known.
     tag:
         Free-form annotation (e.g. ``"factor"`` or ``"solve"``).
+    plan:
+        Whether the launch replayed packed *plan* storage (a compiled
+        :class:`~repro.core.apply_plan.ApplyPlan` /
+        :class:`~repro.core.factor_plan.FactorPlan` bucket) rather than
+        bucketing a pointer-array batch on the fly.  Plan launches are what
+        the launch-count acceptance tests pin down: a compiled solve costs
+        exactly ``launches_per_solve`` of them.
     """
 
     kernel: str
@@ -71,6 +78,7 @@ class KernelEvent:
     stream: Optional[int] = None
     level: Optional[int] = None
     tag: str = ""
+    plan: bool = False
 
 
 @dataclass
@@ -114,6 +122,17 @@ class KernelTrace:
     def num_bucketed_launches(self) -> int:
         """Launches that executed as packed strided shape buckets."""
         return int(sum(e.buckets for e in self.events if e.strided))
+
+    @property
+    def num_plan_launches(self) -> int:
+        """Launches replayed from compiled plan storage (``KernelEvent.plan``).
+
+        For a solve through a compiled :class:`~repro.core.factor_plan.
+        SolvePlan` this equals the plan's ``launches_per_solve`` — the
+        trace-level proof that the compiled path (not a per-solve
+        re-bucketing sweep) executed.
+        """
+        return int(sum(e.buckets for e in self.events if e.plan))
 
     def buckets_by_kernel(self) -> Dict[str, int]:
         """Total shape-bucket (physical launch) counts per kernel name."""

@@ -175,6 +175,41 @@ class BatchPlanner:
         return BatchPlan(buckets=tuple(merged), nbatch=len(shapes))
 
 
+def pad_identity_stack(xb, blocks, width: int, dtype):
+    """Pack square blocks into ``(nb, width, width)`` with identity borders.
+
+    The padded problem is ``blkdiag(A_i, I)``: LU factorization never
+    pivots across the border (border rows are zero in every ``A`` column),
+    the leading sub-block of the padded factor is the exact factor of
+    ``A_i``, and padded right-hand-side rows solve against the identity —
+    so the padding is exact for both ``getrf`` and ``getrs``.  This is the
+    single implementation shared by the padded LU executors and the
+    compiled factor plans.
+    """
+    out = xb.zeros((len(blocks), width, width), dtype=dtype)
+    for j, blk in enumerate(blocks):
+        m = blk.shape[0]
+        out[j, :m, :m] = blk
+        if m < width:
+            out[j, m:, m:] = xb.eye(width - m, dtype=dtype)
+    return out
+
+
+def pad_pivot_stack(pivs, sizes: Sequence[int], width: int) -> np.ndarray:
+    """``(nb, width)`` pivot stack matching :func:`pad_identity_stack`.
+
+    Each row carries the member's pivots (``arange`` when the member has
+    none, e.g. non-pivoted factors) followed by identity-border pivots
+    ``m..width-1`` (the border never swaps rows).
+    """
+    out = np.zeros((len(pivs), width), dtype=np.int64)
+    for j, (piv, m) in enumerate(zip(pivs, sizes)):
+        out[j, :m] = piv if np.size(piv) == m else np.arange(m)
+        if m < width:
+            out[j, m:] = np.arange(m, width)
+    return out
+
+
 _PLANNER = BatchPlanner()
 
 
@@ -236,14 +271,21 @@ class DispatchPolicy:
         vectorises better than elimination: each of the O(n) steps is one
         batched matmul).
     pad_buckets / pad_max_waste:
-        Opt-in pad-to-bucket packing for gemm batches: near-equal shapes
-        are merged into one zero-padded bucket when every member wastes at
-        most ``pad_max_waste`` of the padded volume.  Adaptive-rank trees
+        Opt-in pad-to-bucket packing: near-equal shapes are merged into
+        one padded bucket when every member wastes at most
+        ``pad_max_waste`` of the padded volume.  Adaptive-rank trees
         produce many singleton shapes (ranks differing by a column or two
         per node) that otherwise degenerate into per-block launches; with
         padding they execute as one strided kernel per merged bucket.
-        Zero padding is exact for gemm (padded rows/columns contribute
-        zeros that are sliced away), so results are unchanged.
+        Gemm batches zero-pad (exact: padded rows/columns contribute zeros
+        that are sliced away).  LU batches (``getrf_batched``/
+        ``getrs_batched`` and the compiled
+        :class:`~repro.core.factor_plan.FactorPlan` buckets) pad with an
+        **identity border** — the padded problem is ``blkdiag(A, I)``, so
+        partial pivoting never crosses the border, the leading sub-block
+        of the padded factor is the exact factor of ``A``, and padded
+        right-hand-side rows solve against the appended identity — also
+        exact.
     """
 
     bucketing: bool = True
@@ -470,6 +512,34 @@ class NumpyBackend:
 
     def lu_solve_batch(self, lu, piv, b, pivot: bool = True):
         return _lu_solve_batch(np, np.asarray(lu), piv, np.asarray(b), pivot=pivot)
+
+    def lu_solve_many(self, lu3, piv3, rhs3, pivot: bool = True):
+        """Per-problem substitution over a packed ``(nb, n, n)`` LU stack.
+
+        Semantically a loop of :meth:`lu_solve`, but bound once to the raw
+        LAPACK ``getrs`` routine: the compiled solve plans replay this on
+        every right-hand side, and scipy's per-call ``lu_solve`` wrapper
+        (argument checking, function lookup) costs several times the actual
+        n≈64 substitution.  Optional protocol method — backends without it
+        fall back to the ``lu_solve`` loop.
+        """
+        out_dtype = np.result_type(lu3.dtype, rhs3.dtype)
+        lu3 = np.asarray(lu3, dtype=out_dtype)
+        rhs3 = np.asarray(rhs3, dtype=out_dtype)
+        out = np.empty(rhs3.shape, dtype=out_dtype)
+        if not pivot:
+            for i in range(lu3.shape[0]):
+                out[i] = lu_solve_nopivot(lu3[i], rhs3[i])
+            return out
+        if lu3.shape[0] == 0 or lu3.shape[1] == 0:
+            return out
+        getrs, = sla.get_lapack_funcs(("getrs",), (lu3, rhs3))
+        for i in range(lu3.shape[0]):
+            x, info = getrs(lu3[i], piv3[i], rhs3[i])
+            if info != 0:  # pragma: no cover - defensive
+                raise np.linalg.LinAlgError(f"getrs failed with info={info}")
+            out[i] = x
+        return out
 
     def qr_batch(self, a):
         # NumPy's qr vectorises over leading batch axes (one LAPACK call per

@@ -42,6 +42,9 @@ class ExecutionEstimate:
     by_kernel: Dict[str, float] = field(default_factory=dict)
     #: physical kernel launches: one per shape bucket of every dispatch
     num_kernel_launches: int = 0
+    #: launches replayed from compiled plan storage (ApplyPlan/SolvePlan
+    #: buckets) — no per-call planning or packing cost behind them
+    plan_launches: int = 0
 
     @property
     def total_time(self) -> float:
@@ -112,6 +115,7 @@ class PerformanceModel:
             total_bytes=trace.total_bytes,
             by_kernel=by_kernel,
             num_kernel_launches=trace.num_kernel_launches,
+            plan_launches=trace.num_plan_launches,
         )
 
 

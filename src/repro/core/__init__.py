@@ -29,6 +29,7 @@ from .compression import (
     randomized_compress_batched,
 )
 from .apply_plan import ApplyPlan
+from .factor_plan import FactorPlan, SolvePlan, build_factor_plan, emit_factor_plan
 from .hodlr import HODLRMatrix, build_hodlr, build_hodlr_from_dense
 from .bigdata import BigMatrices
 from .factor_recursive import RecursiveFactorization
@@ -70,6 +71,10 @@ __all__ = [
     "randomized_compress",
     "randomized_compress_batched",
     "ApplyPlan",
+    "FactorPlan",
+    "SolvePlan",
+    "build_factor_plan",
+    "emit_factor_plan",
     "HODLRMatrix",
     "build_hodlr",
     "build_hodlr_from_dense",

@@ -50,6 +50,7 @@ import numpy as np
 from ..backends.batched import gemm_strided_batched
 from ..backends.context import ExecutionContext, resolve_context
 from ..backends.dispatch import ArrayBackend, plan_batch
+from .packing import demote_rhs_dtype, pack_stack
 
 
 @dataclass
@@ -109,11 +110,8 @@ class ApplyPlan:
         self.lowrank_buckets: List[_LowRankBucket] = []
 
         def _pack(stack_members, level: int):
-            stack = xb.stack(stack_members)
-            target = precision.plan_dtype(self.dtype, level)
-            if stack.dtype != target:
-                stack = stack.astype(target)
-            return stack
+            # shared with FactorPlan: see repro.core.packing
+            return pack_stack(xb, stack_members, precision.plan_dtype(self.dtype, level))
 
         # leaf diagonal blocks sit at the deepest level of the tree
         leaves = tree.leaves
@@ -191,13 +189,13 @@ class ApplyPlan:
         for db in self.diag_buckets:
             # row indices are disjoint within a bucket, so the fancy-indexed
             # in-place add scatters without collisions
-            Xb = _cast(np.result_type(db.D3.dtype, _demote_like(db.D3.dtype, X.dtype)))
-            y[db.idx] += gemm_strided_batched(db.D3, Xb[db.idx], backend=xb)
+            Xb = _cast(np.result_type(db.D3.dtype, demote_rhs_dtype(db.D3.dtype, X.dtype)))
+            y[db.idx] += gemm_strided_batched(db.D3, Xb[db.idx], backend=xb, plan=True)
 
         for lb in self.lowrank_buckets:
-            Xb = _cast(np.result_type(lb.Vh3.dtype, _demote_like(lb.Vh3.dtype, X.dtype)))
-            T = gemm_strided_batched(lb.Vh3, Xb[lb.col_idx], backend=xb)
-            y[lb.row_idx] += gemm_strided_batched(lb.U3, T, backend=xb)
+            Xb = _cast(np.result_type(lb.Vh3.dtype, demote_rhs_dtype(lb.Vh3.dtype, X.dtype)))
+            T = gemm_strided_batched(lb.Vh3, Xb[lb.col_idx], backend=xb, plan=True)
+            y[lb.row_idx] += gemm_strided_batched(lb.U3, T, backend=xb, plan=True)
 
         if y.dtype != out_dtype:
             y = y.astype(out_dtype)
@@ -248,16 +246,6 @@ class ApplyPlan:
         )
 
 
-def _demote_like(storage_dtype: np.dtype, x_dtype: np.dtype) -> np.dtype:
-    """The dtype the right-hand side should carry into a bucket's gemm.
-
-    The product runs at the bucket's (possibly demoted) precision: a float32
-    bucket multiplies a float32 (or complex64) right-hand side so the kernel
-    is genuinely half-traffic, instead of NumPy promoting the whole gemm
-    back to float64.
-    """
-    storage_dtype = np.dtype(storage_dtype)
-    x_dtype = np.dtype(x_dtype)
-    if np.issubdtype(x_dtype, np.complexfloating) and storage_dtype.kind != "c":
-        return np.dtype("complex64") if storage_dtype.itemsize == 4 else np.dtype("complex128")
-    return storage_dtype
+#: backwards-compatible alias; the helper moved to :mod:`repro.core.packing`
+#: where both compiled plans (ApplyPlan and FactorPlan) share it
+_demote_like = demote_rhs_dtype

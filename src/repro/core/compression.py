@@ -103,6 +103,7 @@ def rook_pivot_compress(
     max_rank: Optional[int] = None,
     max_rook_steps: int = 3,
     dtype=np.float64,
+    first_row: Optional[np.ndarray] = None,
 ) -> LowRankFactor:
     """Adaptive cross approximation with rook pivoting.
 
@@ -125,6 +126,11 @@ def rook_pivot_compress(
         Upper bound on the constructed rank (defaults to ``min(m, n)``).
     max_rook_steps:
         Number of alternating row/column refinements of each pivot.
+    first_row:
+        Precomputed row 0 of the block (length ``n``).  The level-major
+        builder gathers the initial pivot rows of *all* blocks of a tree
+        level in one ``entries_blocks`` evaluation and hands them in here,
+        so the search's first row costs no per-row entrywise call.
     """
     if m == 0 or n == 0:
         return LowRankFactor.zeros(m, n, dtype)
@@ -146,6 +152,9 @@ def rook_pivot_compress(
     rng = np.random.default_rng(12345)
 
     def residual_row(i: int) -> np.ndarray:
+        if i == 0 and k == 0 and first_row is not None:
+            # the gathered level evaluation already produced this row
+            return np.asarray(first_row, dtype=dtype).reshape(n)
         row = np.asarray(entries(np.array([i]), np.arange(n)), dtype=dtype).reshape(n)
         if k:
             row = row - V_arr[:, :k].conj() @ U_arr[i, :k]
@@ -599,14 +608,20 @@ def compress_block(
     n: int,
     config: CompressionConfig,
     dtype=np.float64,
+    first_row: Optional[np.ndarray] = None,
 ) -> LowRankFactor:
-    """Compress the block defined by ``entries`` according to ``config``."""
+    """Compress the block defined by ``entries`` according to ``config``.
+
+    ``first_row`` (rook only) is a precomputed row 0 of the block — the
+    level-major builder supplies it from its gathered level evaluation.
+    """
     if config.method == "svd":
         block = np.asarray(entries(np.arange(m), np.arange(n)), dtype=dtype)
         return svd_compress(block, tol=config.tol, max_rank=config.max_rank)
     if config.method == "rook":
         return rook_pivot_compress(
-            entries, m, n, tol=config.tol, max_rank=config.max_rank, dtype=dtype
+            entries, m, n, tol=config.tol, max_rank=config.max_rank, dtype=dtype,
+            first_row=first_row,
         )
     if config.method == "randomized":
         # randomized needs matvecs; realise them through entry evaluation on

@@ -3,27 +3,26 @@
 This is the paper's contribution mapped onto the batched backend: all
 per-node BLAS/LAPACK calls of a tree level are fused into a handful of
 batched kernel launches operating on the concatenated ``Ubig``/``Vbig``/
-``Dbig`` storage:
+``Dbig`` storage.
 
-Algorithm 3 (factorization)
-    * one ``getrfBatched`` over all leaf diagonal blocks,
-    * one ``getrsBatched`` applying them to all columns of ``Ybig``,
-    * per level: two batched gemms (``T = V* Y`` and the right-hand sides of
-      equation (13)), one ``getrfBatched`` over the assembled ``K`` blocks,
-      one ``getrsBatched``, and one batched gemm for the update (14).
-
-Algorithm 4 (solution)
-    the same sweep applied to a right-hand side.
+Since PR 5 the variant is a thin scheduling strategy over the shared
+compiled plan: :meth:`BatchedFactorization.factorize` lowers onto
+:func:`~repro.core.factor_plan.build_factor_plan` — Algorithm 3 executed
+packed, one ``getrfBatched``/``getrsBatched``/``gemmStridedBatched``
+launch per shape bucket per level — wrapped in kernel-trace recording and
+host/device transfer accounting, and :meth:`BatchedFactorization.solve`
+replays the compiled :class:`~repro.core.factor_plan.SolvePlan`
+(Algorithm 4: ``O(levels x buckets)`` launches, no Python tree walk, every
+launch trace-visible with ``KernelEvent.plan`` set).
 
 Dispatch decisions reproduced from section III-C:
 
-* when all operands at a level share the same shape the strided-batched
-  gemm fast path (``gemmStridedBatched``) is used;
-* for the first few levels of the tree (node count below
-  ``stream_cutoff``), independent gemms are issued on emulated CUDA streams
-  instead of a tiny batch, which the paper found faster;
 * partial pivoting in the batched LU of the ``K`` blocks can be disabled
-  (``pivot=False``) to model the alternative formulations of equation (9).
+  (``pivot=False``) to model the alternative formulations of equation (9);
+* passing a ``DispatchPolicy(bucketing=False)`` (:data:`~repro.backends.
+  dispatch.LOOP_POLICY`) falls back to the pre-plan per-level schedule with
+  pointer-array batches and emulated CUDA streams for the top levels — the
+  re-bucketing baseline the benchmarks measure the compiled plan against.
 
 Every launch is recorded in a :class:`~repro.backends.counters.KernelTrace`
 (``factor_trace`` / the trace returned alongside each solve), which the
@@ -38,9 +37,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..backends.batched import BatchedBackend, BatchedLU
+from ..backends.context import ExecutionContext, resolve_context
 from ..backends.counters import KernelTrace, get_recorder
 from ..backends.streams import StreamPool
 from .bigdata import BigMatrices
+from .factor_plan import FactorPlan, SolvePlan, build_factor_plan
 
 
 @dataclass
@@ -50,12 +51,16 @@ class BatchedFactorization:
     data: BigMatrices
     backend: BatchedBackend = field(default_factory=BatchedBackend)
     #: levels with at most this many nodes are dispatched on emulated CUDA
-    #: streams rather than a batched kernel (paper, section III-C).
+    #: streams rather than a batched kernel — only on the pre-plan fallback
+    #: path (the compiled plan always issues strided launches).
     stream_cutoff: int = 4
     #: partial pivoting for the batched LU of the K blocks.
     pivot: bool = True
     #: number of emulated streams used for the top levels.
     num_streams: int = 8
+    #: execution context (backend + policy + precision); the backend above
+    #: is merged into it when both are given
+    context: Optional[ExecutionContext] = None
 
     Ybig: Optional[np.ndarray] = None
     leaf_lu: Optional[BatchedLU] = None
@@ -66,9 +71,36 @@ class BatchedFactorization:
     factor_trace: Optional[KernelTrace] = None
     #: kernel trace of the most recent solve
     last_solve_trace: Optional[KernelTrace] = None
+    #: the shared compiled plan (None on the LOOP_POLICY fallback path)
+    _plan: Optional[FactorPlan] = field(default=None, repr=False)
+    _solve_plan: Optional[SolvePlan] = field(default=None, repr=False)
+
+    def _context(self) -> ExecutionContext:
+        """The resolved execution context.
+
+        When a context was given it is authoritative (the default-constructed
+        ``BatchedBackend`` facade is synced to it in place, so the pre-plan
+        fallback path issues through the same backend and policy); otherwise
+        a context is assembled from the backend facade.
+        """
+        if self.context is None:
+            return resolve_context(
+                None, self.backend.array_backend, self.backend.policy
+            )
+        self.backend.array_backend = self.context.backend
+        self.backend.policy = self.context.policy
+        return self.context
+
+    @property
+    def factor_plan(self) -> Optional[FactorPlan]:
+        return self._plan
+
+    @property
+    def solve_plan(self) -> Optional[SolvePlan]:
+        return self._solve_plan
 
     # ------------------------------------------------------------------
-    # level-wise gemm dispatcher
+    # level-wise gemm dispatcher (pre-plan fallback path)
     # ------------------------------------------------------------------
     def _level_gemm(
         self,
@@ -108,37 +140,61 @@ class BatchedFactorization:
     # Algorithm 3: factorization stage
     # ------------------------------------------------------------------
     def factorize(self) -> "BatchedFactorization":
-        data = self.data
-        tree = data.tree
+        ctx = self._context()
         rec = get_recorder()
 
         with rec.recording() as trace:
             # the HODLR data (D, U, V) is assembled on the host and copied to
             # the device before factorization (paper, section IV-A).
-            rec.add_transfer(data.nbytes, "h2d")
-
+            rec.add_transfer(self.data.nbytes, "h2d")
             with rec.context(tag="factor"):
-                self.Ybig = data.Ubig.copy()  # line 1
-
-                # lines 2-3: batched LU of all leaf blocks + batched solve
-                with rec.context(level=tree.levels):
-                    leaves = tree.leaves
-                    stacked = data.leaf_blocks_stacked()
-                    blocks = stacked if stacked is not None else [data.Dbig[l.index] for l in leaves]
-                    self.leaf_lu = self.backend.getrf_batched(blocks, pivot=True)
-                    if self.Ybig.shape[1]:
-                        rhs = [self.Ybig[data.node_rows(l), :] for l in leaves]
-                        sols = self.backend.getrs_batched(self.leaf_lu, rhs)
-                        for leaf, sol in zip(leaves, sols):
-                            self.Ybig[data.node_rows(leaf), :] = sol
-
-                # lines 4-11: level sweep
-                for level in range(tree.levels - 1, -1, -1):
-                    self._factor_level(level)
+                if ctx.policy.bucketing:
+                    self._plan = build_factor_plan(
+                        self.data, context=ctx, pivot=self.pivot
+                    )
+                    self._solve_plan = self._plan.solve_plan()
+                    self.Ybig = self._plan.Ybig
+                    self._populate_views()
+                else:
+                    self._factorize_sweep()
 
         self.factor_trace = trace
         self.factored = True
         return self
+
+    def _populate_views(self) -> None:
+        """Expose the per-node BatchedLU views into the packed plan stacks."""
+        plan = self._plan
+        tree = self.data.tree
+        views = plan.leaf_lu_views()
+        self.leaf_lu = BatchedLU(
+            lu=[lu for lu, _ in views], piv=[piv for _, piv in views]
+        )
+        for level in range(tree.levels - 1, -1, -1):
+            self.k_lu[level] = plan.k_lu_batched(level)
+
+    def _factorize_sweep(self) -> None:
+        """The pre-plan per-level schedule (pointer-array batches + streams)."""
+        data = self.data
+        tree = data.tree
+        rec = get_recorder()
+        self.Ybig = data.Ubig.copy()  # line 1
+
+        # lines 2-3: batched LU of all leaf blocks + batched solve
+        with rec.context(level=tree.levels):
+            leaves = tree.leaves
+            stacked = data.leaf_blocks_stacked()
+            blocks = stacked if stacked is not None else [data.Dbig[l.index] for l in leaves]
+            self.leaf_lu = self.backend.getrf_batched(blocks, pivot=True)
+            if self.Ybig.shape[1]:
+                rhs = [self.Ybig[data.node_rows(l), :] for l in leaves]
+                sols = self.backend.getrs_batched(self.leaf_lu, rhs)
+                for leaf, sol in zip(leaves, sols):
+                    self.Ybig[data.node_rows(leaf), :] = sol
+
+        # lines 4-11: level sweep
+        for level in range(tree.levels - 1, -1, -1):
+            self._factor_level(level)
 
     def _factor_level(self, level: int) -> None:
         data = self.data
@@ -225,69 +281,87 @@ class BatchedFactorization:
     # ------------------------------------------------------------------
     # Algorithm 4: solution stage
     # ------------------------------------------------------------------
-    def solve(self, b: np.ndarray, record_transfer: bool = True) -> np.ndarray:
-        """Solve ``A x = b`` with the stored factorization (Algorithm 4)."""
+    def solve(
+        self, b: np.ndarray, record_transfer: bool = True, use_plan: bool = True
+    ) -> np.ndarray:
+        """Solve ``A x = b`` with the stored factorization (Algorithm 4).
+
+        Replays the compiled :class:`~repro.core.factor_plan.SolvePlan` when
+        available; ``use_plan=False`` forces the pre-plan per-level sweep
+        (the per-solve re-bucketing baseline).
+        """
         if not self.factored:
             raise RuntimeError("call factorize() before solve()")
         data = self.data
-        tree = data.tree
         rec = get_recorder()
 
         b = self.backend.array_backend.asarray(b)
         if b.shape[0] != data.n:
             raise ValueError(f"right-hand side has {b.shape[0]} rows, expected {data.n}")
+
+        with rec.recording() as trace:
+            if record_transfer:
+                rec.add_transfer(b.nbytes, "h2d")
+            with rec.context(tag="solve"):
+                if use_plan and self._solve_plan is not None:
+                    x = self._solve_plan.solve(b)
+                else:
+                    x = self._solve_sweep(b)
+            if record_transfer:
+                rec.add_transfer(x.nbytes, "d2h")
+
+        self.last_solve_trace = trace
+        return x
+
+    def _solve_sweep(self, b: np.ndarray) -> np.ndarray:
+        data = self.data
+        tree = data.tree
+        rec = get_recorder()
         squeeze = b.ndim == 1
         x = (b.reshape(-1, 1) if squeeze else b).astype(
             np.result_type(b.dtype, self.Ybig.dtype), copy=True
         )
 
-        with rec.recording() as trace:
-            if record_transfer:
-                rec.add_transfer(x.nbytes, "h2d")
-            with rec.context(tag="solve"):
-                # line 2: batched leaf solves
-                with rec.context(level=tree.levels):
-                    leaves = tree.leaves
-                    rhs = [x[data.node_rows(l)] for l in leaves]
-                    sols = self.backend.getrs_batched(self.leaf_lu, rhs)
-                    for leaf, sol in zip(leaves, sols):
-                        x[data.node_rows(leaf)] = sol
+        # line 2: batched leaf solves
+        with rec.context(level=tree.levels):
+            leaves = tree.leaves
+            rhs = [x[data.node_rows(l)] for l in leaves]
+            sols = self.backend.getrs_batched(self.leaf_lu, rhs)
+            for leaf, sol in zip(leaves, sols):
+                x[data.node_rows(leaf)] = sol
 
-                # lines 3-7: level sweep
-                for level in range(tree.levels - 1, -1, -1):
-                    child_level = level + 1
-                    r = data.rank_at_level(child_level)
-                    if r == 0:
-                        continue
-                    child_cols = data.level_cols(child_level)
-                    gammas = tree.level_nodes(level)
-                    children = tree.level_nodes(child_level)
+        # lines 3-7: level sweep
+        for level in range(tree.levels - 1, -1, -1):
+            child_level = level + 1
+            r = data.rank_at_level(child_level)
+            if r == 0:
+                continue
+            child_cols = data.level_cols(child_level)
+            gammas = tree.level_nodes(level)
+            children = tree.level_nodes(child_level)
 
-                    with rec.context(level=level):
-                        Y_blocks = [self.Ybig[data.node_rows(nd), child_cols] for nd in children]
-                        V_blocks = [data.Vbig[data.node_rows(nd), child_cols] for nd in children]
-                        x_blocks = [x[data.node_rows(nd)] for nd in children]
+            with rec.context(level=level):
+                Y_blocks = [self.Ybig[data.node_rows(nd), child_cols] for nd in children]
+                V_blocks = [data.Vbig[data.node_rows(nd), child_cols] for nd in children]
+                x_blocks = [x[data.node_rows(nd)] for nd in children]
 
-                        # line 4: w = V* (.) x
-                        w_blocks = self._level_gemm(V_blocks, x_blocks, conjugate_a=True)
+                # line 4: w = V* (.) x
+                w_blocks = self._level_gemm(V_blocks, x_blocks, conjugate_a=True)
 
-                        # line 5: batched K solve
-                        K_rhs = [self._stack_k_rhs(w_blocks[2 * i], w_blocks[2 * i + 1])
-                                 for i in range(len(gammas))]
-                        w_solved = self.backend.getrs_batched(self.k_lu[level], K_rhs)
+                # line 5: batched K solve
+                K_rhs = [self._stack_k_rhs(w_blocks[2 * i], w_blocks[2 * i + 1])
+                         for i in range(len(gammas))]
+                w_solved = self.backend.getrs_batched(self.k_lu[level], K_rhs)
 
-                        # line 6: x -= Y (.) w
-                        w_half = []
-                        for i in range(len(gammas)):
-                            w_half.append(w_solved[i][:r])
-                            w_half.append(w_solved[i][r:])
-                        updates = self._level_gemm(Y_blocks, w_half, conjugate_a=False)
-                        for nd, upd in zip(children, updates):
-                            x[data.node_rows(nd)] -= upd
-            if record_transfer:
-                rec.add_transfer(x.nbytes, "d2h")
+                # line 6: x -= Y (.) w
+                w_half = []
+                for i in range(len(gammas)):
+                    w_half.append(w_solved[i][:r])
+                    w_half.append(w_solved[i][r:])
+                updates = self._level_gemm(Y_blocks, w_half, conjugate_a=False)
+                for nd, upd in zip(children, updates):
+                    x[data.node_rows(nd)] -= upd
 
-        self.last_solve_trace = trace
         return x.ravel() if squeeze else x
 
     # ------------------------------------------------------------------
@@ -297,6 +371,8 @@ class BatchedFactorization:
         """Sign/phase and log-magnitude of ``det(A)`` from the stored factors."""
         if not self.factored:
             raise RuntimeError("call factorize() before slogdet()")
+        if self._plan is not None:
+            return self._plan.slogdet()
         sign: complex = 1.0
         logabs = 0.0
         signs, logs = self.leaf_lu.logdet()
@@ -325,6 +401,8 @@ class BatchedFactorization:
         """Memory of the factorization (Ybig + Vbig + LU factors), in bytes."""
         total = self.Ybig.nbytes if self.Ybig is not None else 0
         total += self.data.Vbig.nbytes
+        if self._plan is not None:
+            return int(total + self._plan.nbytes)
         if self.leaf_lu is not None:
             total += self.leaf_lu.nbytes
         total += sum(batched.nbytes for batched in self.k_lu.values())

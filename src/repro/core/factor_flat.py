@@ -17,17 +17,20 @@ Algorithm 2 (solution)
     The same sweep applied to a right-hand side vector using the stored
     factorizations.
 
-The level loops issue their per-block work through the shape-bucketed
-batched primitives (:func:`~repro.backends.batched.gemm_batched`,
-:func:`~repro.backends.batched.getrf_batched`,
-:func:`~repro.backends.batched.getrs_batched`): one planned launch per shape
-bucket per level, with the measured-crossover
-:class:`~repro.backends.dispatch.DispatchPolicy` deciding whether a bucket
-runs as a packed vectorised kernel or a tight per-block LAPACK loop.
-Passing :data:`~repro.backends.dispatch.LOOP_POLICY` reproduces the
-original one-LAPACK-call-per-block schedule exactly.  Unlike the
-``"batched"`` variant this one keeps per-node factor storage, records no
-kernel traces, and models no streams/transfers — it remains the paper's
+Since PR 5 this variant is a thin scheduling strategy over the shared
+compiled plan: :meth:`FlatFactorization.factorize` lowers onto
+:func:`~repro.core.factor_plan.build_factor_plan` (Algorithm 1 executed
+packed, one getrf/getrs/gemm launch per shape bucket per level) and
+:meth:`FlatFactorization.solve` replays the compiled
+:class:`~repro.core.factor_plan.SolvePlan` — no Python tree walk and no
+re-bucketing per solve.  The per-node ``leaf_lu``/``k_lu`` dictionaries
+remain available as views into the packed stacks.
+
+Passing :data:`~repro.backends.dispatch.LOOP_POLICY` (or
+``solve(b, use_plan=False)``) runs the pre-plan level sweep — the
+per-solve re-bucketing path the benchmarks measure the compiled plan
+against.  Unlike the ``"batched"`` variant this one records no kernel
+traces and models no streams/transfers — it remains the paper's
 single-device CPU execution of the data structure.
 """
 
@@ -39,8 +42,10 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..backends.batched import BatchedLU, gemm_batched, getrf_batched, getrs_batched
+from ..backends.context import ExecutionContext, resolve_context
 from ..backends.dispatch import ArrayBackend, DispatchPolicy, get_backend
 from .bigdata import BigMatrices
+from .factor_plan import FactorPlan, SolvePlan, build_factor_plan
 
 
 @dataclass
@@ -52,25 +57,75 @@ class FlatFactorization:
     backend: Optional[ArrayBackend] = None
     #: bucketing policy for the batched primitives (``None`` = default)
     policy: Optional[DispatchPolicy] = None
+    #: execution context (backend + policy + precision); supersedes the two
+    #: fields above, which are merged into it when given
+    context: Optional[ExecutionContext] = None
     #: Ybig overwrites Ubig during factorization (kept as a separate array so
     #: the original BigMatrices object can be reused).
     Ybig: Optional[np.ndarray] = None
     leaf_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     k_lu: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     factored: bool = False
-    #: batched views of the stored factors, reused by every solve sweep
+    #: batched views of the stored factors, reused by every legacy solve sweep
     _leaf_batch: Optional[BatchedLU] = field(default=None, repr=False)
     _k_batch: Dict[int, BatchedLU] = field(default_factory=dict, repr=False)
+    #: the shared compiled plan (None on the LOOP_POLICY fallback path)
+    _plan: Optional[FactorPlan] = field(default=None, repr=False)
+    _solve_plan: Optional[SolvePlan] = field(default=None, repr=False)
 
     def _backend(self) -> ArrayBackend:
         if self.backend is None:
             self.backend = get_backend("numpy")
         return self.backend
 
+    def _context(self) -> ExecutionContext:
+        """The resolved execution context (explicit backend/policy win)."""
+        ctx = resolve_context(self.context, self.backend, self.policy)
+        self.backend = ctx.backend
+        self.policy = ctx.policy
+        return ctx
+
+    @property
+    def factor_plan(self) -> Optional[FactorPlan]:
+        return self._plan
+
+    @property
+    def solve_plan(self) -> Optional[SolvePlan]:
+        return self._solve_plan
+
     # ------------------------------------------------------------------
     # Algorithm 1: factorization stage
     # ------------------------------------------------------------------
     def factorize(self) -> "FlatFactorization":
+        ctx = self._context()
+        if not ctx.policy.bucketing:
+            return self._factorize_sweep()
+        self._plan = build_factor_plan(self.data, context=ctx, pivot=True)
+        self._solve_plan = self._plan.solve_plan()
+        self.Ybig = self._plan.Ybig
+        self._populate_views()
+        self.factored = True
+        return self
+
+    def _populate_views(self) -> None:
+        """Expose per-node ``(lu, piv)`` views into the packed plan stacks."""
+        plan = self._plan
+        tree = self.data.tree
+        leaves = tree.leaves
+        views = plan.leaf_lu_views()
+        for leaf, (lu, piv) in zip(leaves, views):
+            self.leaf_lu[leaf.index] = (lu, piv)
+        self._leaf_batch = BatchedLU(
+            lu=[lu for lu, _ in views], piv=[piv for _, piv in views]
+        )
+        for level in range(tree.levels - 1, -1, -1):
+            kb = plan.k_lu_batched(level)
+            self._k_batch[level] = kb
+            for gamma, lu, piv in zip(tree.level_nodes(level), kb.lu, kb.piv):
+                self.k_lu[gamma.index] = (lu, piv)
+
+    def _factorize_sweep(self) -> "FlatFactorization":
+        """The pre-plan level sweep (LOOP_POLICY: one LAPACK call per block)."""
         data = self.data
         tree = data.tree
         xb = self._backend()
@@ -156,10 +211,21 @@ class FlatFactorization:
     # ------------------------------------------------------------------
     # Algorithm 2: solution stage
     # ------------------------------------------------------------------
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` using the stored factorization."""
+    def solve(self, b: np.ndarray, use_plan: bool = True) -> np.ndarray:
+        """Solve ``A x = b`` using the stored factorization.
+
+        The compiled :class:`~repro.core.factor_plan.SolvePlan` is replayed
+        when available (the default); ``use_plan=False`` forces the
+        pre-plan level sweep, which re-buckets the blocks on every call —
+        the baseline the benchmarks measure against.
+        """
         if not self.factored:
             raise RuntimeError("call factorize() before solve()")
+        if use_plan and self._solve_plan is not None:
+            return self._solve_plan.solve(b)
+        return self._solve_sweep(b)
+
+    def _solve_sweep(self, b: np.ndarray) -> np.ndarray:
         data = self.data
         tree = data.tree
         xb = self._backend()
@@ -219,6 +285,8 @@ class FlatFactorization:
         """Sign/phase and log-magnitude of ``det(A)`` (section III-E-a)."""
         if not self.factored:
             raise RuntimeError("call factorize() before slogdet()")
+        if self._plan is not None:
+            return self._plan.slogdet()
         from .factor_recursive import _lu_slogdet
 
         sign: complex = 1.0
@@ -246,6 +314,8 @@ class FlatFactorization:
         """Memory of the stored factorization (the ``mem`` column of the tables)."""
         total = self.Ybig.nbytes if self.Ybig is not None else 0
         total += self.data.Vbig.nbytes
+        if self._plan is not None:
+            return int(total + self._plan.nbytes)
         total += sum(lu.nbytes + piv.nbytes for lu, piv in self.leaf_lu.values())
         total += sum(lu.nbytes + piv.nbytes for lu, piv in self.k_lu.values())
         return int(total)

@@ -1,0 +1,763 @@
+"""Compiled factorization plans: packed factor storage + the compiled solve sweep.
+
+PR 3 compiled the HODLR *matvec* into :class:`~repro.core.apply_plan.
+ApplyPlan`; this module does the same for the *factorization* and its
+triangular-solve sweeps.  The three factorization variants used to be three
+divergent code paths that re-walked the tree and re-bucketed blocks on
+every solve; they now lower onto one common backend:
+
+:class:`FactorPlan`
+    Per-level shape-bucketed strided 3-D storage of everything Algorithm 2
+    needs: packed LU factors + pivots of the leaf diagonal blocks, packed
+    LU factors of the per-level reduced ``K`` systems, and the packed
+    ``Y``/``V^*`` bases driving the Schur-update gemms.  Built through the
+    dispatch layer by :func:`build_factor_plan` (which *is* Algorithm 1,
+    executed packed: one getrf/getrs/gemm launch per shape bucket per
+    level), or emitted from the recursive traversal by
+    :func:`emit_factor_plan`.
+
+:class:`SolvePlan`
+    The compiled forward/backward sweep over that storage:
+    ``O(levels x buckets)`` ``getrs``/``gemm_strided_batched`` launches per
+    solve, no Python tree walk, no per-solve re-bucketing.  Krylov loops
+    and repeated direct solves reuse it; every launch is trace-visible
+    (``KernelEvent.plan`` marks plan-replay launches).
+
+Mixed-precision factor storage
+------------------------------
+``PrecisionPolicy(factor="float32", factor_min_level=k)`` demotes the
+packed factor storage of tree levels ``>= k`` (leaf diagonal factors count
+as the deepest level) after the factorization is computed at the working
+dtype.  Solves gather the right-hand side into each bucket at the bucket's
+storage dtype, while the solution vector itself stays at the full
+(``accumulate``-widened) dtype — so only the per-bucket kernels run
+narrow.  One step of iterative refinement
+(:meth:`repro.api.operator.HODLROperator.solve` with
+``PrecisionPolicy(refine=True)``) restores ~full-precision residuals.
+
+Memory
+------
+Like :class:`~repro.core.apply_plan.ApplyPlan`, the plan stores packed
+*copies* of the solved bases (the ``Y3``/``Vh3`` stacks) next to the
+``Ybig``/``Vbig`` they were gathered from — the concatenated arrays stay
+alive for the ``use_plan=False`` fallback sweep and the per-node views, so
+a compiled factorization holds roughly one extra copy of the basis
+storage.  ``factorization_nbytes`` reports the full resident footprint.
+
+Pad-to-bucket LU packing
+------------------------
+With ``DispatchPolicy(pad_buckets=True)`` near-equal leaf/node sizes merge
+into shared buckets.  LU buckets pad with an **identity border** (the
+padded matrix is ``blkdiag(A, I)``): partial pivoting never crosses the
+border, the leading sub-block of the padded factor *is* the factor of
+``A``, and padded right-hand-side rows solve against the identity — so
+padding is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backends.batched import gemm_strided_batched
+from ..backends.context import ExecutionContext, resolve_context
+from ..backends.counters import (
+    KernelEvent,
+    get_recorder,
+    getrf_flops,
+    getrs_flops,
+    record_event,
+)
+from ..backends.dispatch import (
+    pad_identity_stack,
+    pad_pivot_stack,
+    plan_batch,
+    plan_batch_padded,
+)
+from .packing import GatherScatter, demote_rhs_dtype, pack_stack
+
+
+# ======================================================================
+# packed LU launches (one kernel event per call)
+# ======================================================================
+def _is_complex(dtype) -> bool:
+    return np.issubdtype(np.dtype(dtype), np.complexfloating)
+
+
+def _getrf_packed(xb, pol, A3, pivot: bool = True):
+    """LU-factorize a packed ``(nb, n, n)`` stack: one planned launch.
+
+    The dispatch policy decides the host execution inside the launch —
+    vectorised batched elimination for many small blocks, per-problem
+    LAPACK otherwise.  Pivots are always returned full-length
+    (``arange`` rows for the non-pivoted path), so downstream code never
+    branches on pivot storage.
+    """
+    nb, n = A3.shape[0], A3.shape[1]
+    if pol.vectorize_lu_factor(nb, n):
+        lu3, piv3 = xb.lu_factor_batch(A3, pivot=pivot)
+        piv3 = np.asarray(piv3, dtype=np.int64)
+    else:
+        lu3 = xb.zeros(A3.shape, dtype=A3.dtype)
+        piv3 = np.zeros((nb, n), dtype=np.int64)
+        base = np.arange(n, dtype=np.int64)
+        for i in range(nb):
+            lu, piv = xb.lu_factor(A3[i], pivot=pivot)
+            lu3[i] = lu
+            piv3[i] = piv if (pivot and np.size(piv) == n) else base
+    record_event(
+        KernelEvent(
+            kernel="getrf_batched",
+            batch=nb,
+            shape=(n, n, 0),
+            flops=nb * getrf_flops(n, _is_complex(A3.dtype)),
+            bytes_moved=float(2 * A3.nbytes),
+            dtype_size=np.dtype(A3.dtype).itemsize,
+            strided=True,
+            buckets=1,
+            plan=True,
+        )
+    )
+    return lu3, piv3
+
+
+def _getrs_packed(xb, pol, lu3, piv3, rhs3, pivot: bool = True):
+    """Solve a packed ``(nb, n, nrhs)`` right-hand-side stack: one launch."""
+    nb, n, nrhs = rhs3.shape
+    out_dtype = np.result_type(lu3.dtype, rhs3.dtype)
+    if rhs3.dtype != out_dtype:
+        rhs3 = rhs3.astype(out_dtype)
+    if pol.vectorize_lu_solve(nb, n):
+        x3 = xb.lu_solve_batch(lu3, piv3, rhs3, pivot=pivot)
+    else:
+        many = getattr(xb, "lu_solve_many", None)
+        if many is not None:
+            x3 = many(lu3, piv3, rhs3, pivot=pivot)
+        else:
+            x3 = xb.zeros(rhs3.shape, dtype=out_dtype)
+            for i in range(nb):
+                x3[i] = xb.lu_solve(lu3[i], piv3[i], rhs3[i], pivot=pivot)
+    record_event(
+        KernelEvent(
+            kernel="getrs_batched",
+            batch=nb,
+            shape=(n, nrhs, 0),
+            flops=nb * getrs_flops(n, nrhs, _is_complex(out_dtype)),
+            bytes_moved=float(lu3.nbytes + 2 * rhs3.nbytes),
+            dtype_size=np.dtype(out_dtype).itemsize,
+            strided=True,
+            buckets=1,
+            plan=True,
+        )
+    )
+    return x3
+
+
+# ======================================================================
+# plan storage
+# ======================================================================
+@dataclass
+class _LeafBucket:
+    """LU factors of the leaf diagonal blocks sharing one (padded) size."""
+
+    #: positions of the members within ``tree.leaves`` submission order
+    positions: Tuple[int, ...]
+    gs: GatherScatter
+    #: (nb, M, M) packed LU factors (identity-bordered when padded)
+    lu3: np.ndarray
+    #: (nb, M) pivot rows
+    piv3: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.lu3.nbytes + self.piv3.nbytes + self.gs.nbytes)
+
+
+@dataclass
+class _SweepBucket:
+    """One node-size bucket of a level's Schur-update gemm schedule."""
+
+    #: positions of the members within the level's child ordering
+    pos: np.ndarray
+    gs: GatherScatter
+    #: (nb, M, r) packed solved bases Y
+    Y3: np.ndarray
+    #: (nb, r, M) packed conjugate-transposed V bases
+    Vh3: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.Y3.nbytes + self.Vh3.nbytes + self.gs.nbytes + self.pos.nbytes)
+
+
+@dataclass
+class _LevelSweep:
+    """Everything one level of the forward/backward sweep needs."""
+
+    #: tree level of the ``gamma`` nodes (children live at ``level + 1``)
+    level: int
+    rank: int
+    #: (ngamma, 2r, 2r) packed LU of the reduced K systems
+    k_lu3: np.ndarray
+    #: (ngamma, 2r) pivots
+    k_piv3: np.ndarray
+    buckets: List[_SweepBucket] = field(default_factory=list)
+
+    @property
+    def nchild(self) -> int:
+        return 2 * self.k_lu3.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.k_lu3.nbytes
+            + self.k_piv3.nbytes
+            + sum(b.nbytes for b in self.buckets)
+        )
+
+
+def _pair_rhs(w_all, ngamma: int, r: int, pivot: bool):
+    """Stack the per-child ``(r, nrhs)`` blocks into per-gamma K right-hand sides.
+
+    With ``pivot=True`` the rows follow equation (9) (left child's block on
+    top); ``pivot=False`` swaps the block rows, matching the alternative K
+    formulation with identities on the diagonal.  The *solution* ordering
+    is ``[w_left; w_right]`` in both cases.
+    """
+    nrhs = w_all.shape[-1]
+    if pivot:
+        return w_all.reshape(ngamma, 2 * r, nrhs)
+    swapped = w_all.reshape(ngamma, 2, r, nrhs)[:, ::-1]
+    return swapped.reshape(ngamma, 2 * r, nrhs)
+
+
+class FactorPlan:
+    """Packed, precision-aware storage of one HODLR factorization.
+
+    Instances come from :func:`build_factor_plan` (the packed Algorithm 1)
+    or :func:`emit_factor_plan` (the recursive traversal's emission); all
+    three solver variants store their factors here and solve through
+    :class:`SolvePlan`.
+    """
+
+    def __init__(
+        self,
+        tree,
+        dtype,
+        context: ExecutionContext,
+        pivot: bool,
+        leaf_buckets: List[_LeafBucket],
+        sweeps: List[_LevelSweep],
+        Ybig: Optional[np.ndarray] = None,
+    ) -> None:
+        self.tree = tree
+        self.n: int = tree.n
+        self.levels: int = tree.levels
+        #: the *logical* dtype (what solves promote against), regardless of
+        #: any storage demotion below
+        self.dtype = np.dtype(dtype)
+        self.context = context
+        self.pivot = pivot
+        self.leaf_buckets = leaf_buckets
+        #: deepest level first — the order the backward sweep consumes them
+        self.sweeps = sweeps
+        #: the solved bases in concatenated layout (``None`` for plans
+        #: emitted from the recursive traversal, which has no Ybig)
+        self.Ybig = Ybig
+        self.demoted: bool = False
+        self._solve_plan: Optional["SolvePlan"] = None
+        self._finalize_precision()
+
+    # ------------------------------------------------------------------
+    # precision
+    # ------------------------------------------------------------------
+    def _finalize_precision(self) -> None:
+        """Demote per-level factor storage according to the precision policy."""
+        prec = self.context.precision
+        if not prec.demotes_factor(self.dtype):
+            return
+        leaf_target = prec.factor_dtype(self.dtype, self.levels)
+        for lb in self.leaf_buckets:
+            if lb.lu3.dtype != leaf_target:
+                lb.lu3 = lb.lu3.astype(leaf_target)
+                self.demoted = True
+        for sw in self.sweeps:
+            target = prec.factor_dtype(self.dtype, sw.level + 1)
+            if sw.k_lu3.dtype != target:
+                sw.k_lu3 = sw.k_lu3.astype(target)
+                self.demoted = True
+            for bk in sw.buckets:
+                if bk.Y3.dtype != target:
+                    bk.Y3 = bk.Y3.astype(target)
+                    bk.Vh3 = bk.Vh3.astype(target)
+                    self.demoted = True
+
+    def storage_dtypes(self) -> Dict[int, np.dtype]:
+        """Factor storage dtype per tree level (leaf factors report the
+        deepest level, a level's K/Y/V storage reports the child level)."""
+        out: Dict[int, np.dtype] = {}
+        for lb in self.leaf_buckets:
+            out[self.levels] = np.dtype(lb.lu3.dtype)
+        for sw in self.sweeps:
+            out.setdefault(sw.level + 1, np.dtype(sw.k_lu3.dtype))
+        return out
+
+    # ------------------------------------------------------------------
+    # the compiled solve
+    # ------------------------------------------------------------------
+    def solve_plan(self) -> "SolvePlan":
+        """The (cached) compiled sweep over this storage."""
+        if self._solve_plan is None:
+            self._solve_plan = SolvePlan(self)
+        return self._solve_plan
+
+    # ------------------------------------------------------------------
+    # per-node views (compatibility with the per-variant factor objects)
+    # ------------------------------------------------------------------
+    def leaf_lu_views(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """``(lu, piv)`` of every leaf in ``tree.leaves`` order (views into
+        the packed stacks; padded borders sliced away)."""
+        out: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(
+            self.tree.leaves
+        )
+        for lb in self.leaf_buckets:
+            sizes = lb.gs.sizes
+            for j, p in enumerate(lb.positions):
+                m = sizes[j]
+                out[p] = (lb.lu3[j, :m, :m], lb.piv3[j, :m])
+        return out  # type: ignore[return-value]
+
+    def k_lu_views(self, level: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The packed ``(lu3, piv3)`` K stacks of one gamma level (or ``None``)."""
+        for sw in self.sweeps:
+            if sw.level == level:
+                return sw.k_lu3, sw.k_piv3
+        return None
+
+    def k_lu_batched(self, level: int):
+        """The level's K factors as a ``BatchedLU`` of views into the packed
+        stacks (a degenerate rank-0 level yields empty factors per gamma) —
+        the compatibility surface the per-variant factor objects expose."""
+        from ..backends.batched import BatchedLU
+
+        ngamma = len(self.tree.level_nodes(level))
+        packed = self.k_lu_views(level)
+        if packed is None:
+            empty = np.zeros((0, 0), dtype=self.dtype)
+            empty_piv = np.empty(0, dtype=np.int64)
+            return BatchedLU(
+                lu=[empty] * ngamma, piv=[empty_piv] * ngamma, pivot=self.pivot
+            )
+        k_lu3, k_piv3 = packed
+        return BatchedLU(
+            lu=[k_lu3[g] for g in range(ngamma)],
+            piv=[k_piv3[g] for g in range(ngamma)],
+            pivot=self.pivot,
+        )
+
+    # ------------------------------------------------------------------
+    # determinant
+    # ------------------------------------------------------------------
+    def slogdet(self) -> Tuple[complex, float]:
+        """Sign/phase and log-magnitude of ``det(A)`` from the packed factors.
+
+        Identity-bordered padding contributes ``log 1 = 0`` and no row
+        swaps, so padded stacks need no special casing.
+        """
+        from .factor_recursive import _lu_slogdet
+
+        xb = self.context.backend
+        sign: complex = 1.0
+        logabs = 0.0
+        for lb in self.leaf_buckets:
+            lu3 = np.asarray(xb.to_host(lb.lu3))
+            piv3 = np.asarray(lb.piv3)
+            for j in range(lu3.shape[0]):
+                s, l = _lu_slogdet(lu3[j], piv3[j])
+                sign *= s
+                logabs += l
+        for sw in self.sweeps:
+            r = sw.rank
+            k_lu3 = np.asarray(xb.to_host(sw.k_lu3))
+            k_piv3 = np.asarray(sw.k_piv3)
+            # the block-row swap relating K to the node factor contributes
+            # (-1)^{r^2} per node; the pivot=False formulation applies a
+            # second swap, cancelling it.
+            swap = ((-1.0) ** (r * r)) if self.pivot else 1.0
+            for g in range(k_lu3.shape[0]):
+                s, l = _lu_slogdet(k_lu3[g], k_piv3[g])
+                sign *= s * swap
+                logabs += l
+        return sign, logabs
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the packed plan storage (LU stacks + Y/V^* stacks + indices)."""
+        return int(
+            sum(lb.nbytes for lb in self.leaf_buckets)
+            + sum(sw.nbytes for sw in self.sweeps)
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.leaf_buckets) + sum(len(sw.buckets) for sw in self.sweeps)
+
+    @property
+    def launches_per_solve(self) -> int:
+        """Batched kernel launches one solve costs under the compiled sweep."""
+        return len(self.leaf_buckets) + sum(
+            1 + 2 * len(sw.buckets) for sw in self.sweeps
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        demoted = ", mixed-precision" if self.demoted else ""
+        return (
+            f"FactorPlan(n={self.n}, levels={self.levels}, "
+            f"buckets={self.num_buckets}, launches_per_solve="
+            f"{self.launches_per_solve}{demoted})"
+        )
+
+
+class SolvePlan:
+    """The compiled forward/backward sweep (Algorithms 2/4) over a
+    :class:`FactorPlan`: ``O(levels x buckets)`` launches per solve, no
+    Python tree walk, reused across Krylov iterations."""
+
+    def __init__(self, plan: FactorPlan) -> None:
+        self.plan = plan
+
+    @property
+    def launches_per_solve(self) -> int:
+        return self.plan.launches_per_solve
+
+    @property
+    def nbytes(self) -> int:
+        return self.plan.nbytes
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (``b`` may hold multiple right-hand sides)."""
+        plan = self.plan
+        ctx = plan.context
+        xb, pol = ctx.backend, ctx.policy
+        b = xb.asarray(b)
+        if b.shape[0] != plan.n:
+            raise ValueError(
+                f"right-hand side has {b.shape[0]} rows, expected {plan.n}"
+            )
+        squeeze = b.ndim == 1
+        out_dtype = np.result_type(plan.dtype, b.dtype)
+        if plan.demoted:
+            out_dtype = np.result_type(
+                out_dtype, ctx.precision.accumulate_dtype(out_dtype)
+            )
+        x = (b.reshape(-1, 1) if squeeze else b).astype(out_dtype, copy=True)
+
+        # forward stage: one packed substitution per leaf bucket
+        for lb in plan.leaf_buckets:
+            rhs3 = lb.gs.take(x)
+            bd = np.result_type(lb.lu3.dtype, demote_rhs_dtype(lb.lu3.dtype, out_dtype))
+            if rhs3.dtype != bd:
+                rhs3 = rhs3.astype(bd)
+            sol3 = _getrs_packed(xb, pol, lb.lu3, lb.piv3, rhs3, pivot=True)
+            lb.gs.put(x, sol3)
+
+        # backward sweep: deepest level first
+        for sw in plan.sweeps:
+            r = sw.rank
+            ngamma = sw.k_lu3.shape[0]
+            bd = np.result_type(
+                sw.k_lu3.dtype, demote_rhs_dtype(sw.k_lu3.dtype, out_dtype)
+            )
+            w_all = xb.zeros((sw.nchild, r, x.shape[1]), dtype=bd)
+            for bk in sw.buckets:
+                xg = bk.gs.take(x)
+                if xg.dtype != bd:
+                    xg = xg.astype(bd)
+                w_all[bk.pos] = gemm_strided_batched(
+                    bk.Vh3, xg, backend=xb, plan=True
+                )
+            K_rhs = _pair_rhs(w_all, ngamma, r, plan.pivot)
+            W = _getrs_packed(xb, pol, sw.k_lu3, sw.k_piv3, K_rhs, pivot=plan.pivot)
+            W_half = W.reshape(sw.nchild, r, x.shape[1])
+            for bk in sw.buckets:
+                upd = gemm_strided_batched(
+                    bk.Y3, W_half[bk.pos], backend=xb, plan=True
+                )
+                bk.gs.sub(x, upd)
+
+        return x.reshape(-1) if squeeze else x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolvePlan(n={self.plan.n}, launches_per_solve="
+            f"{self.launches_per_solve})"
+        )
+
+
+# ======================================================================
+# builders
+# ======================================================================
+def _leaf_plan_buckets(tree, pol):
+    """Bucket the leaves by size (pad-merged when the policy allows)."""
+    leaves = tree.leaves
+    shapes = [(leaf.size, leaf.size) for leaf in leaves]
+    if pol.pad_buckets:
+        return plan_batch_padded(shapes, pol.pad_max_waste).buckets
+    return plan_batch(shapes).buckets
+
+
+def _child_plan_buckets(children, r, pol):
+    """Bucket a level's child nodes by (node size, rank)."""
+    shapes = [(nd.size, r) for nd in children]
+    if pol.pad_buckets:
+        return plan_batch_padded(shapes, pol.pad_max_waste).buckets
+    return plan_batch(shapes).buckets
+
+
+def _assemble_k(xb, T_all, ngamma: int, r: int, dtype, pivot: bool):
+    """The per-level reduced systems (equation (11)) as one ``(ngamma, 2r, 2r)``
+    stack.  With ``pivot=False`` the paper's alternative formulation puts the
+    identities on the diagonal so non-pivoted LU is safe."""
+    eye = xb.eye(r, dtype=dtype)
+    K3 = xb.zeros((ngamma, 2 * r, 2 * r), dtype=dtype)
+    if pivot:
+        K3[:, :r, :r] = T_all[0::2]
+        K3[:, :r, r:] = eye
+        K3[:, r:, :r] = eye
+        K3[:, r:, r:] = T_all[1::2]
+    else:
+        K3[:, :r, :r] = eye
+        K3[:, :r, r:] = T_all[1::2]
+        K3[:, r:, :r] = T_all[0::2]
+        K3[:, r:, r:] = eye
+    return K3
+
+
+def build_factor_plan(
+    data,
+    context: Optional[ExecutionContext] = None,
+    pivot: bool = True,
+) -> FactorPlan:
+    """Algorithm 1 executed packed: factorize ``data`` (a
+    :class:`~repro.core.bigdata.BigMatrices`) straight into a
+    :class:`FactorPlan`.
+
+    Per shape bucket per level this issues one getrf, one getrs, and a
+    handful of strided gemms through the dispatch layer — the flat and
+    batched variants are thin scheduling wrappers around this builder (the
+    batched one adds trace recording and transfer accounting around it).
+    """
+    ctx = resolve_context(context)
+    xb, pol = ctx.backend, ctx.policy
+    tree = data.tree
+    dtype = np.dtype(data.dtype)
+    rec = get_recorder()
+    Ybig = data.Ubig.copy()
+
+    # ---- leaves: one packed LU + one packed substitution per size bucket
+    leaves = tree.leaves
+    leaf_buckets: List[_LeafBucket] = []
+    with rec.context(level=tree.levels):
+        for bucket in _leaf_plan_buckets(tree, pol):
+            M = bucket.key[0]
+            members = [leaves[i] for i in bucket.indices]
+            padded = any(leaf.size != M for leaf in members)
+            if padded:
+                D3 = pad_identity_stack(
+                    xb, [data.Dbig[leaf.index] for leaf in members], M, dtype
+                )
+            else:
+                D3 = pack_stack(xb, [data.Dbig[leaf.index] for leaf in members], dtype)
+            gs = GatherScatter.from_ranges(
+                [(leaf.start, leaf.stop) for leaf in members], M
+            )
+            lu3, piv3 = _getrf_packed(xb, pol, D3, pivot=True)
+            leaf_buckets.append(
+                _LeafBucket(positions=bucket.indices, gs=gs, lu3=lu3, piv3=piv3)
+            )
+            if Ybig.shape[1]:
+                sol3 = _getrs_packed(xb, pol, lu3, piv3, gs.take(Ybig), pivot=True)
+                gs.put(Ybig, sol3)
+
+    # ---- level sweep, bottom-up
+    sweeps: List[_LevelSweep] = []
+    for level in range(tree.levels - 1, -1, -1):
+        child_level = level + 1
+        r = data.rank_at_level(child_level)
+        if r == 0:
+            continue  # degenerate level: all off-diagonal blocks numerically zero
+        children = tree.level_nodes(child_level)
+        gammas = tree.level_nodes(level)
+        nchild = len(children)
+        child_cols = data.level_cols(child_level)
+        coarse_cols = data.cols_up_to(level)
+        ncoarse = coarse_cols.stop - coarse_cols.start
+
+        with rec.context(level=level):
+            Ysub = Ybig[:, child_cols]
+            Vsub = data.Vbig[:, child_cols]
+            buckets: List[_SweepBucket] = []
+            T_all = xb.zeros((nchild, r, r), dtype=dtype)
+            for b in _child_plan_buckets(children, r, pol):
+                M = b.key[0]
+                members = [children[i] for i in b.indices]
+                gs = GatherScatter.from_ranges(
+                    [(nd.start, nd.stop) for nd in members], M
+                )
+                Y3 = gs.take(Ysub)
+                Vh3 = gs.take(Vsub).transpose(0, 2, 1).conj()
+                pos = np.asarray(b.indices, dtype=np.intp)
+                # line 5: T = V^* Y, one strided launch per bucket
+                T_all[pos] = gemm_strided_batched(Vh3, Y3, backend=xb)
+                buckets.append(_SweepBucket(pos=pos, gs=gs, Y3=Y3, Vh3=Vh3))
+
+            # lines 7-8: assemble and LU-factorize the K systems
+            K3 = _assemble_k(xb, T_all, len(gammas), r, dtype, pivot)
+            k_lu3, k_piv3 = _getrf_packed(xb, pol, K3, pivot=pivot)
+            sweeps.append(
+                _LevelSweep(
+                    level=level, rank=r, k_lu3=k_lu3, k_piv3=k_piv3, buckets=buckets
+                )
+            )
+
+            # lines 9-10: solve (13) and apply the update (14) to the
+            # coarser columns of Ybig
+            if ncoarse:
+                Ycsub = Ybig[:, coarse_cols]
+                w_all = xb.zeros((nchild, r, ncoarse), dtype=dtype)
+                for bk in buckets:
+                    w_all[bk.pos] = gemm_strided_batched(
+                        bk.Vh3, bk.gs.take(Ycsub), backend=xb
+                    )
+                K_rhs = _pair_rhs(w_all, len(gammas), r, pivot)
+                W = _getrs_packed(xb, pol, k_lu3, k_piv3, K_rhs, pivot=pivot)
+                W_half = W.reshape(nchild, r, ncoarse)
+                for bk in buckets:
+                    upd = gemm_strided_batched(bk.Y3, W_half[bk.pos], backend=xb)
+                    bk.gs.sub(Ycsub, upd)
+
+    return FactorPlan(
+        tree=tree,
+        dtype=dtype,
+        context=ctx,
+        pivot=pivot,
+        leaf_buckets=leaf_buckets,
+        sweeps=sweeps,
+        Ybig=Ybig,
+    )
+
+
+def emit_factor_plan(
+    hodlr,
+    Y: Dict[int, np.ndarray],
+    leaf_lu: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    T: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None,
+    context: Optional[ExecutionContext] = None,
+) -> FactorPlan:
+    """Pack a recursive traversal's per-node factors into a :class:`FactorPlan`.
+
+    The recursive variant keeps its per-node traversal (which computes the
+    solved bases ``Y_alpha = A_alpha^{-1} U_alpha`` and the per-leaf LU
+    factors) and *emits* plan nodes: bases are zero-padded to the level
+    rank, the reduced K systems are re-assembled in the same padded layout
+    the flat/batched builders produce, and the result solves through the
+    same compiled :class:`SolvePlan`.
+
+    ``T`` optionally supplies the traversal's per-gamma K diagonal blocks
+    ``(Va* Y_left, Vb* Y_right)`` so the emission does not recompute those
+    gemms (only the padded K LU — whose factor differs from the per-node
+    small-K factor — is computed here).
+    """
+    ctx = resolve_context(context)
+    xb, pol = ctx.backend, ctx.policy
+    tree = hodlr.tree
+    dtype = np.dtype(hodlr.dtype)
+
+    # per-level padded ranks, identical to BigMatrices.from_hodlr
+    level_ranks: List[int] = []
+    for level in range(1, tree.levels + 1):
+        ranks = [hodlr.U[i].shape[1] for i in tree.level_indices(level)]
+        ranks += [hodlr.V[i].shape[1] for i in tree.level_indices(level)]
+        level_ranks.append(int(max(ranks)) if ranks else 0)
+
+    # ---- leaves: pack the already-computed per-leaf LU factors
+    leaves = tree.leaves
+    leaf_buckets: List[_LeafBucket] = []
+    for bucket in _leaf_plan_buckets(tree, pol):
+        M = bucket.key[0]
+        members = [leaves[i] for i in bucket.indices]
+        lu3 = pad_identity_stack(
+            xb, [leaf_lu[leaf.index][0] for leaf in members], M, dtype
+        )
+        piv3 = pad_pivot_stack(
+            [leaf_lu[leaf.index][1] for leaf in members],
+            [leaf.size for leaf in members],
+            M,
+        )
+        gs = GatherScatter.from_ranges([(leaf.start, leaf.stop) for leaf in members], M)
+        leaf_buckets.append(
+            _LeafBucket(positions=bucket.indices, gs=gs, lu3=lu3, piv3=piv3)
+        )
+
+    # ---- levels: pad Y/V to the level rank, re-assemble K packed
+    sweeps: List[_LevelSweep] = []
+    for level in range(tree.levels - 1, -1, -1):
+        child_level = level + 1
+        r = level_ranks[child_level - 1]
+        if r == 0:
+            continue
+        children = tree.level_nodes(child_level)
+        gammas = tree.level_nodes(level)
+        nchild = len(children)
+
+        buckets: List[_SweepBucket] = []
+        T_all = None if T is not None else xb.zeros((nchild, r, r), dtype=dtype)
+        for b in _child_plan_buckets(children, r, pol):
+            M = b.key[0]
+            members = [children[i] for i in b.indices]
+            Y3 = xb.zeros((len(members), M, r), dtype=dtype)
+            V3 = xb.zeros((len(members), M, r), dtype=dtype)
+            for j, nd in enumerate(members):
+                y = Y[nd.index]
+                v = hodlr.V[nd.index]
+                Y3[j, : y.shape[0], : y.shape[1]] = y
+                V3[j, : v.shape[0], : v.shape[1]] = v
+            Vh3 = V3.transpose(0, 2, 1).conj()
+            gs = GatherScatter.from_ranges([(nd.start, nd.stop) for nd in members], M)
+            pos = np.asarray(b.indices, dtype=np.intp)
+            if T_all is not None:
+                T_all[pos] = gemm_strided_batched(Vh3, Y3, backend=xb)
+            buckets.append(_SweepBucket(pos=pos, gs=gs, Y3=Y3, Vh3=Vh3))
+
+        if T is not None:
+            # the traversal already computed the K diagonal blocks: embed
+            # them in the padded layout directly, no gemm recomputation
+            eye = xb.eye(r, dtype=dtype)
+            K3 = xb.zeros((len(gammas), 2 * r, 2 * r), dtype=dtype)
+            K3[:, :r, r:] = eye
+            K3[:, r:, :r] = eye
+            for g, gamma in enumerate(gammas):
+                Ta, Tb = T[gamma.index]
+                K3[g, : Ta.shape[0], : Ta.shape[1]] = Ta
+                K3[g, r : r + Tb.shape[0], r : r + Tb.shape[1]] = Tb
+        else:
+            K3 = _assemble_k(xb, T_all, len(gammas), r, dtype, pivot=True)
+        k_lu3, k_piv3 = _getrf_packed(xb, pol, K3, pivot=True)
+        sweeps.append(
+            _LevelSweep(level=level, rank=r, k_lu3=k_lu3, k_piv3=k_piv3, buckets=buckets)
+        )
+
+    return FactorPlan(
+        tree=tree,
+        dtype=dtype,
+        context=ctx,
+        pivot=True,
+        leaf_buckets=leaf_buckets,
+        sweeps=sweeps,
+        Ybig=None,
+    )

@@ -518,12 +518,28 @@ def _build_hodlr_batched(
 
         factors: List = [None] * len(row_nodes)
         if lazy:
+            # the rook search is entrywise-adaptive, but its *initial* pivot
+            # rows are known up front: gather row 0 of every block of the
+            # level in one bucketed entries_blocks evaluation (one call per
+            # col-size bucket instead of one entrywise call per block)
+            first_rows: List = [None] * len(row_nodes)
+            if multi is not None and row_nodes:
+                r0_sets = [np.asarray(rn.indices[:1]) for rn in row_nodes]
+                c_sets = [cn.indices for cn in col_nodes]
+                for chunk, stack in _gather_chunks(
+                    evaluator, multi, r0_sets, c_sets, dtype, xb
+                ):
+                    for j, i in enumerate(chunk):
+                        first_rows[i] = np.asarray(stack[j, 0])
             for i, (rn, cn) in enumerate(zip(row_nodes, col_nodes)):
 
                 def block_eval(r, c, _rr=rn.indices, _cc=cn.indices):
                     return evaluator(_rr[r], _cc[c])
 
-                factors[i] = compress_block(block_eval, rn.size, cn.size, config, dtype=dtype)
+                factors[i] = compress_block(
+                    block_eval, rn.size, cn.size, config, dtype=dtype,
+                    first_row=first_rows[i],
+                )
         else:
             # each shape-bucket chunk is materialised once as a strided stack
             # and compressed in place — no per-block intermediate copies

@@ -166,10 +166,19 @@ class HODLRSolver:
                 # update the policy in place so subclasses (counting /
                 # fault-injecting test backends) keep their behaviour
                 backend.policy = dispatch_policy
+            if context is not None:
+                # the context is authoritative over the facade's *implicit*
+                # defaults (only an explicitly passed dispatch_policy= may
+                # override it); the facade instance is kept — test
+                # subclasses included — and synced to the resolved context
+                self.context = resolve_context(context, policy=dispatch_policy)
+                backend.array_backend = self.context.backend
+                backend.policy = self.context.policy
+            else:
+                self.context = resolve_context(
+                    None, backend.array_backend, backend.policy
+                )
             self.backend = backend
-            self.context = resolve_context(
-                context, backend.array_backend, backend.policy
-            )
         else:
             # a registered backend name, a bare ArrayBackend, a context, or None
             self.context = resolve_context(context, backend, dispatch_policy)
@@ -187,7 +196,14 @@ class HODLRSolver:
     _UNSET = object()
 
     @classmethod
-    def from_config(cls, hodlr: HODLRMatrix, config, dtype=_UNSET) -> "HODLRSolver":
+    def from_config(
+        cls,
+        hodlr: HODLRMatrix,
+        config,
+        dtype=_UNSET,
+        backend: Optional[Union[str, ArrayBackend]] = None,
+        dispatch_policy: Optional[DispatchPolicy] = None,
+    ) -> "HODLRSolver":
         """Construct from a :class:`repro.api.config.SolverConfig`.
 
         ``config`` is duck-typed (any object with ``variant``, ``pivot``,
@@ -196,13 +212,26 @@ class HODLRSolver:
         attributes).  ``dtype`` overrides the config's dtype when given —
         pass ``dtype=None`` explicitly if ``hodlr`` is already stored at the
         target dtype to skip the cast.
+
+        ``backend``/``dispatch_policy`` override *only* the matching field
+        of the config's execution context; everything else the config
+        carries — in particular ``SolverConfig.precision`` — is preserved.
+        (Audited in PR 5: the context path used to have no override seam,
+        so callers combining an explicit dispatch policy with a
+        precision-carrying config silently lost one of the two.)
         """
         make_context = getattr(config, "execution_context", None)
-        kwargs: Dict[str, Any] = (
-            {"context": make_context()}
-            if callable(make_context)
-            else {"backend": config.backend, "dispatch_policy": config.dispatch_policy}
-        )
+        kwargs: Dict[str, Any]
+        if callable(make_context):
+            ctx = resolve_context(make_context(), backend, dispatch_policy)
+            kwargs = {"context": ctx}
+        else:
+            kwargs = {
+                "backend": backend if backend is not None else config.backend,
+                "dispatch_policy": dispatch_policy
+                if dispatch_policy is not None
+                else config.dispatch_policy,
+            }
         return cls(
             hodlr,
             variant=config.variant,
@@ -220,13 +249,16 @@ class HODLRSolver:
         array_backend = self.backend.array_backend
         if self.variant == "recursive":
             self._impl = RecursiveFactorization(
-                hodlr=self.hodlr, backend=array_backend
+                hodlr=self.hodlr, backend=array_backend, context=self.context
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         elif self.variant == "flat":
             self._bigdata = BigMatrices.from_hodlr(self.hodlr, backend=array_backend)
             self._impl = FlatFactorization(
-                data=self._bigdata, backend=array_backend, policy=self.backend.policy
+                data=self._bigdata,
+                backend=array_backend,
+                policy=self.backend.policy,
+                context=self.context,
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         elif self.variant == "batched":
@@ -236,6 +268,7 @@ class HODLRSolver:
                 backend=self.backend,
                 pivot=self.pivot,
                 stream_cutoff=self.stream_cutoff,
+                context=self.context,
             ).factorize()
             self.stats.factorization_bytes = self._impl.factorization_nbytes()
         else:
@@ -259,11 +292,27 @@ class HODLRSolver:
     # ------------------------------------------------------------------
     # solve / apply
     # ------------------------------------------------------------------
-    def solve(self, b: np.ndarray, compute_residual: bool = False) -> np.ndarray:
-        """Solve ``A x = b``; ``b`` may contain multiple right-hand sides."""
+    def solve(
+        self, b: np.ndarray, compute_residual: bool = False, use_plan: bool = True
+    ) -> np.ndarray:
+        """Solve ``A x = b``; ``b`` may contain multiple right-hand sides.
+
+        All built-in variants replay their compiled
+        :class:`~repro.core.factor_plan.SolvePlan` (packed once at
+        factorization time, reused across solves and Krylov iterations);
+        ``use_plan=False`` forces the variant's pre-plan sweep — the
+        per-solve re-bucketing baseline the benchmarks measure against.
+        Registered (baseline) variants have no plan; the flag is ignored
+        for them.
+        """
         impl = self._require_factored()
         t0 = time.perf_counter()
-        x = impl.solve(b)
+        # registered baseline variants expose a bare solve(b); only the
+        # built-in impls (which carry a factor_plan) take the use_plan knob
+        if use_plan or not hasattr(impl, "factor_plan"):
+            x = impl.solve(b)
+        else:
+            x = impl.solve(b, use_plan=False)
         elapsed = time.perf_counter() - t0
         self.stats.last_solve_seconds = elapsed
         self.stats.solve_seconds += elapsed
@@ -332,6 +381,22 @@ class HODLRSolver:
     def last_solve_trace(self) -> Optional[KernelTrace]:
         impl = self._require_factored()
         return getattr(impl, "last_solve_trace", None)
+
+    # ------------------------------------------------------------------
+    # compiled plans
+    # ------------------------------------------------------------------
+    @property
+    def factor_plan(self):
+        """The shared packed :class:`~repro.core.factor_plan.FactorPlan`
+        (``None`` before factorization or on the loop-policy fallback)."""
+        return getattr(self._impl, "factor_plan", None)
+
+    @property
+    def solve_plan(self):
+        """The compiled :class:`~repro.core.factor_plan.SolvePlan` every
+        ``solve`` replays (``None`` before factorization or on the
+        loop-policy fallback)."""
+        return getattr(self._impl, "solve_plan", None)
 
     def modeled_times(
         self, model: Optional[PerformanceModel] = None

@@ -297,12 +297,22 @@ class TestContextBasics:
         assert isinstance(ctx.backend, NumpyBackend)
         assert not ctx.device_resident
 
-    def test_resolve_context_legacy_and_exclusive(self):
+    def test_resolve_context_legacy_and_merge(self):
         assert resolve_context() is DEFAULT_CONTEXT
         ctx = resolve_context(backend=NumpyBackend(), policy=DispatchPolicy(min_bucket=3))
         assert ctx.policy.min_bucket == 3
-        with pytest.raises(TypeError):
-            resolve_context(context=DEFAULT_CONTEXT, backend="numpy")
+        # PR-5 precedence audit: explicit backend=/policy= override only the
+        # matching context field; everything else (the precision policy in
+        # particular) is preserved instead of raising or being dropped
+        base = ExecutionContext(precision=PrecisionPolicy(storage="float32"))
+        merged = resolve_context(
+            context=base, policy=DispatchPolicy(bucketing=False)
+        )
+        assert not merged.policy.bucketing
+        assert merged.precision.storage == "float32"
+        assert merged.backend is base.backend
+        # no overrides -> the context object itself comes back
+        assert resolve_context(context=base) is base
 
     def test_precision_policy_validation(self):
         with pytest.raises(ValueError):
