@@ -1,29 +1,38 @@
-"""Record the repo's measured perf trajectory: ``BENCH_pr5.json``.
+"""Record the repo's measured perf trajectory: ``BENCH_pr6.json``.
 
 Times the hot paths of the batched pipeline — HODLR **construction**, the
-**matvec/GMRES apply loop**, the **end-to-end solve**, and — new in PR 5 —
-the **compiled SolvePlan**: repeated direct solves and the
-GMRES-preconditioner apply loop through the packed
-:class:`~repro.core.factor_plan.FactorPlan` against the per-solve
-re-bucketing sweep, plus the float32 *factor*-storage rows
-(``PrecisionPolicy(factor="float32")`` with the refinement round-trip) and
-the three-variant equivalence check through the shared plan.  Rows land in
-a ``BENCH_*.json`` file at the repository root so future PRs have a
-trajectory to compare against.
+**matvec/GMRES apply loop**, the **end-to-end solve**, the **compiled
+SolvePlan** rows (repeated direct solves and the GMRES-preconditioner
+apply loop through the packed :class:`~repro.core.factor_plan.FactorPlan`
+against the per-solve re-bucketing sweep), the float32 *factor*-storage
+rows, the three-variant equivalence check — and, new in PR 6, the
+**tuned-vs-default** row (``repro.solve(..., tuning="auto")`` through the
+calibrated :class:`~repro.backends.calibration.MachineProfile` against the
+hard-coded dispatch constants, solutions identical to 1e-12).
+
+Besides the wall-clock rows the run records a ``counters`` section:
+deterministic kernel-trace counters (launch counts, flops, plan storage
+bytes) of an **SVD-compressed probe problem at a fixed size** — the same
+size in ``--smoke`` and full mode, so the committed baseline is directly
+comparable to a CI smoke run.  ``benchmarks/check_bench.py`` diffs these
+counters against the committed baseline and fails CI on regression; the
+wall-clock rows stay informational.
 
 Usage::
 
-    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr5.json
-    python benchmarks/record_bench.py --smoke         # CI perf-smoke sizes
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr6.json
+    python benchmarks/record_bench.py --smoke         # CI perf-gate sizes
     python benchmarks/record_bench.py --output out.json
 
-The full run reproduces the PR-5 acceptance numbers: >= 1.5x on repeated
-solves (50-solve loop and GMRES-preconditioner apply at N=16384) for the
-compiled SolvePlan vs the per-solve sweep path, and all three
-factorization variants identical through the shared FactorPlan to 1e-12.
-Both the full and smoke runs also *assert the plan path is actually
-taken* via the kernel trace (``num_plan_launches == launches_per_solve``),
-so a regression to per-solve re-bucketing fails the job loudly.
+The full run reproduces the PR-5/PR-6 acceptance numbers: >= 1.5x on
+repeated solves (50-solve loop and GMRES-preconditioner apply at N=16384)
+for the compiled SolvePlan vs the per-solve sweep path, all three
+factorization variants identical through the shared FactorPlan to 1e-12,
+and the auto-tuned solve identical to the default-policy solve to 1e-12
+at N=16384.  Both the full and smoke runs also *assert the plan path is
+actually taken* via the kernel trace
+(``num_plan_launches == launches_per_solve``), so a regression to
+per-solve re-bucketing fails the job loudly.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import repro  # noqa: E402
 from repro import HODLROperator, HODLRSolver, PrecisionPolicy  # noqa: E402
 from repro.api import CompressionConfig, SolverConfig  # noqa: E402
+from repro.backends import get_recorder  # noqa: E402
 from repro.kernels import GaussianKernel, KernelMatrix  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
@@ -284,6 +294,91 @@ def bench_factor_precision(n, tol=1e-10):
     return row
 
 
+def bench_tuned_vs_default(n, tol=1e-8):
+    """The PR-6 acceptance row: ``tuning="auto"`` (calibrated machine
+    profile) vs the default hard-coded dispatch constants, end to end.
+
+    The auto side includes the (cached) calibration cost in its first-run
+    wall clock; correctness is the gate here — the two solutions must be
+    identical to 1e-12 — while the timing delta is informational (on a
+    host resembling the one the defaults were measured on, the derived
+    policy is near-identical and so is the time).
+    """
+    cfg = SolverConfig(compression=CompressionConfig(tol=tol, method="randomized"))
+
+    def run(tuning):
+        t0 = time.perf_counter()
+        res = repro.solve("gaussian_kernel", config=cfg, n=n, tuning=tuning)
+        return time.perf_counter() - t0, res
+
+    td, res_d = run("default")
+    ta, res_a = run("auto")
+    rel = float(
+        np.linalg.norm(res_a.x - res_d.x) / max(np.linalg.norm(res_d.x), 1e-300)
+    )
+    policy = res_a.operator.context.policy
+    row = _row("tuned_vs_default_solve", ta, td, fast_label="auto",
+               slow_label="default", n=n, agreement=rel,
+               relres_auto=res_a.relative_residual,
+               relres_default=res_d.relative_residual,
+               derived_policy={
+                   "min_bucket": policy.min_bucket,
+                   "gemm_pack_max_elements": policy.gemm_pack_max_elements,
+                   "lu_factor_max_n": policy.lu_factor_max_n,
+                   "lu_factor_min_batch": policy.lu_factor_min_batch,
+                   "lu_solve_max_n": policy.lu_solve_max_n,
+                   "lu_solve_min_batch_ratio": policy.lu_solve_min_batch_ratio,
+                   "pad_max_waste": round(policy.pad_max_waste, 4),
+               })
+    assert rel < 1e-12, f"auto-tuned and default solves disagree: {rel}"
+    return row
+
+
+def collect_counters(n=2048, tol=1e-8, leaf_size=64):
+    """Deterministic trace counters of a fixed-size SVD-compressed probe.
+
+    This is the section the CI perf-gate diffs (``check_bench.py``): SVD
+    compression has no sampling, the probe size is the same in smoke and
+    full runs, and every value below is a launch count, flop total, or
+    plan byte count — not a wall-clock — so the committed numbers are
+    reproducible across hosts up to BLAS-rounding rank wobble (covered by
+    the gate's tolerances).
+    """
+    km = _gaussian_km(n)
+    rec = get_recorder()
+    with rec.recording() as tr_con:
+        H, _ = km.to_hodlr(leaf_size=leaf_size, tol=tol, method="svd",
+                           construction="batched")
+    with rec.recording() as tr_fac:
+        solver = HODLRSolver(H, variant="batched").factorize()
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(n)
+    solver.solve(b)  # first solve may build/attach plan state
+    with rec.recording() as tr_sol:
+        solver.solve(b)
+    plan = solver.solve_plan
+    assert plan is not None and tr_sol.num_plan_launches == plan.launches_per_solve
+    apply_plan = H.build_apply_plan(force=True)
+    counters = {
+        "n": n,
+        "construction_launches": tr_con.num_kernel_launches,
+        "construction_flops": tr_con.total_flops,
+        "factor_launches": tr_fac.num_kernel_launches,
+        "factor_flops": tr_fac.total_flops,
+        "launches_per_solve": plan.launches_per_solve,
+        "solve_plan_launches": tr_sol.num_plan_launches,
+        "solve_flops": tr_sol.total_flops,
+        "factor_plan_bytes": int(solver.factor_plan.nbytes),
+        "apply_plan_bytes": int(apply_plan.nbytes),
+        "apply_launches_per_matvec": apply_plan.launches_per_apply,
+    }
+    print(f"  {'counters_probe':<38s} n={n}  launches/solve "
+          f"{counters['launches_per_solve']}  factor launches "
+          f"{counters['factor_launches']}  construction launches "
+          f"{counters['construction_launches']}")
+    return counters
+
+
 def bench_end_to_end(problem, **params):
     """``repro.solve`` wall-clock (assemble + factorize + solve), batched vs loop."""
 
@@ -308,18 +403,19 @@ def bench_end_to_end(problem, **params):
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--smoke", action="store_true",
-                    help="reduced sizes for the CI perf-smoke job")
+                    help="reduced sizes for the CI perf-gate job")
     ap.add_argument("--output", default=None,
-                    help="output path (default: BENCH_pr5.json at the repo root, "
+                    help="output path (default: BENCH_pr6.json at the repo root, "
                          "BENCH_smoke.json with --smoke)")
     args = ap.parse_args(argv)
 
     n_solve = 2048 if args.smoke else 16384
     n_equiv = 1024 if args.smoke else 4096
     n_e2e = 1024 if args.smoke else 4096
+    n_tuned = 2048 if args.smoke else 16384
     rpy_particles = 96 if args.smoke else 400
     out_path = args.output or os.path.join(
-        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr5.json"
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr6.json"
     )
 
     print(f"recording {'smoke' if args.smoke else 'full'} benchmark "
@@ -348,20 +444,29 @@ def main(argv=None):
     benchmarks["rpy_end_to_end"] = bench_end_to_end(
         "rpy_mobility", num_particles=rpy_particles
     )
+    # the PR-6 acceptance row: calibrated auto-tuning vs the default
+    # constants, identical solutions to 1e-12 (N=16384 on the full run)
+    benchmarks["tuned_vs_default_solve"] = bench_tuned_vs_default(n_tuned)
+
+    # deterministic counters at a FIXED probe size (same in smoke and full
+    # mode): this is the section the CI perf-gate diffs against the
+    # committed baseline
+    counters = collect_counters()
 
     payload = {
         "meta": {
-            "pr": 5,
+            "pr": 6,
             "smoke": bool(args.smoke),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "description": "compiled FactorPlan/SolvePlan (repeated solves + "
-                           "GMRES-preconditioner apply through packed factor "
-                           "storage, float32 factor rows, variant "
-                           "equivalence), alongside the PR-3/4 trajectory",
+            "description": "calibrated auto-tuning (tuned-vs-default solve "
+                           "through the measured MachineProfile) and the "
+                           "deterministic counter section the CI perf-gate "
+                           "diffs, alongside the PR-3/4/5 trajectory",
         },
         "benchmarks": benchmarks,
+        "counters": counters,
     }
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2)

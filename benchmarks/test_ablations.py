@@ -24,7 +24,6 @@ from repro import (
     RecursiveFactorization,
     build_hodlr,
 )
-from repro.backends.counters import get_recorder
 
 from common import GPU_MODEL, TableRow, save_rows
 

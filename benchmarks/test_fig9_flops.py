@@ -17,7 +17,7 @@ import pytest
 from repro import HODLRSolver, HelmholtzCombinedBIE, ProxyCompressionConfig, StarContour, build_hodlr_proxy
 from repro.baselines.hodlrlib_cpu import HODLRlibStyleSolver
 
-from common import CPU_MODEL, GPU_MODEL, TableRow, save_rows
+from common import GPU_MODEL, TableRow, save_rows
 
 SWEEP_N = [512, 1024, 2048]
 KAPPA = 15.0

@@ -95,13 +95,14 @@ def _coerce_config(
 
 
 def _resolve_problem(
-    problem: ProblemLike, config, problem_params: dict
+    problem: ProblemLike, config, problem_params: dict, tuning: Optional[str] = None
 ) -> Tuple[Any, SolverConfig]:
     """Instantiate a named problem and settle the effective config.
 
     The problem is resolved *before* the config so that, when no config was
     passed, the problem's ``default_config`` (see
-    :func:`repro.get_problem`) applies.
+    :func:`repro.get_problem`) applies.  An explicit ``tuning=`` argument
+    overrides the config's own ``tuning`` field.
     """
     if isinstance(problem, str):
         problem = get_problem(problem, **problem_params)
@@ -111,14 +112,21 @@ def _resolve_problem(
             f"problem name, got problem={type(problem).__name__} with "
             f"params {sorted(problem_params)}"
         )
-    return problem, _coerce_config(config, problem)
+    config = _coerce_config(config, problem)
+    if tuning is not None and tuning != config.tuning:
+        config = config.replace(tuning=tuning)
+    return problem, config
 
 
 def assemble(
-    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
+    problem: ProblemLike,
+    config: Optional[SolverConfig] = None,
+    *,
+    tuning: Optional[str] = None,
+    **problem_params: Any,
 ) -> AssembledProblem:
     """Resolve any accepted ``problem`` spelling to an :class:`AssembledProblem`."""
-    problem, config = _resolve_problem(problem, config, problem_params)
+    problem, config = _resolve_problem(problem, config, problem_params, tuning)
     comp = config.compression
     if isinstance(problem, AssembledProblem):
         return problem
@@ -170,15 +178,21 @@ def _operator_for(assembled: AssembledProblem, config: SolverConfig) -> HODLROpe
 
 
 def build_operator(
-    problem: ProblemLike, config: Optional[SolverConfig] = None, **problem_params: Any
+    problem: ProblemLike,
+    config: Optional[SolverConfig] = None,
+    *,
+    tuning: Optional[str] = None,
+    **problem_params: Any,
 ) -> HODLROperator:
     """Assemble ``problem`` and wrap it as a lazy :class:`HODLROperator`.
 
     The operator acts in the *caller's* ordering: any internal cluster-tree
     permutation of the problem is carried on the operator and conjugated
-    away on every matvec/solve.
+    away on every matvec/solve.  ``tuning="auto"`` derives the dispatch
+    (and budgeted precision) policies from the host's calibrated machine
+    profile — see :mod:`repro.backends.calibration`.
     """
-    problem, config = _resolve_problem(problem, config, problem_params)
+    problem, config = _resolve_problem(problem, config, problem_params, tuning)
     assembled = assemble(problem, config)
     return _operator_for(assembled, config)
 
@@ -189,6 +203,7 @@ def solve(
     config: Optional[SolverConfig] = None,
     *,
     compute_residual: Union[bool, str] = True,
+    tuning: Optional[str] = None,
     **problem_params: Any,
 ) -> SolveResult:
     """Assemble, factorize, and solve ``problem`` under ``config``.
@@ -206,6 +221,11 @@ def solve(
     error (raises if the problem provides no exact operator); ``False``
     skips it.
 
+    ``tuning="auto"`` replaces the hard-coded dispatch crossovers with the
+    host's calibrated machine profile (and, when the config carries a
+    ``residual_budget``, derives the precision demotion depth from it);
+    it is shorthand for ``config.replace(tuning="auto")``.
+
     Returns a :class:`SolveResult`; the factorized operator inside it acts
     in the caller's ordering too and can be reused for more solves without
     re-assembly.
@@ -214,7 +234,7 @@ def solve(
         raise ValueError(
             f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
         )
-    problem, config = _resolve_problem(problem, config, problem_params)
+    problem, config = _resolve_problem(problem, config, problem_params, tuning)
     assembled = assemble(problem, config)
     if compute_residual == "exact" and assembled.operator is None:
         raise ValueError(

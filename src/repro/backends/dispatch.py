@@ -240,6 +240,12 @@ class DispatchPolicy:
     GPU backend executes every bucket as one batched kernel regardless, so
     these thresholds only matter for the CPU emulation's wall clock).
 
+    The class defaults are *fallback* constants measured once on one
+    development machine.  :mod:`repro.backends.calibration` measures the
+    real crossovers of the current host and derives a policy from them;
+    request it with ``ExecutionContext(policy="auto")`` or
+    ``repro.solve(..., tuning="auto")``.
+
     Parameters
     ----------
     bucketing:
@@ -298,6 +304,12 @@ class DispatchPolicy:
     lu_solve_min_batch_ratio: float = 4.0
     pad_buckets: bool = False
     pad_max_waste: float = 0.25
+
+    def replace(self, **changes) -> "DispatchPolicy":
+        """A copy with the given tunables replaced (the policy is frozen)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
 
     def pack_gemm_bucket(self, nblocks: int, a_elements: int, b_elements: int) -> bool:
         """Should a gemm bucket be packed into strided storage?"""

@@ -85,6 +85,17 @@ class PerformanceModel:
     link: Optional[LinkSpec] = PCIE3_X16
     stream_overlap: float = 0.6
 
+    @classmethod
+    def for_host(cls, device: DeviceSpec) -> "PerformanceModel":
+        """A model pricing traces on the host itself: no link, no streams.
+
+        This is what :mod:`repro.backends.calibration` uses to compare
+        precision-demotion candidates on the calibrated machine — there is
+        no PCIe transfer to hide and no independent streams to overlap
+        launch overhead into.
+        """
+        return cls(device=device, link=None, stream_overlap=0.0)
+
     def estimate(self, trace: KernelTrace, include_transfer: bool = True) -> ExecutionEstimate:
         compute = 0.0
         by_kernel: Dict[str, float] = {}

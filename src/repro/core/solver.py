@@ -203,6 +203,7 @@ class HODLRSolver:
         dtype=_UNSET,
         backend: Optional[Union[str, ArrayBackend]] = None,
         dispatch_policy: Optional[DispatchPolicy] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> "HODLRSolver":
         """Construct from a :class:`repro.api.config.SolverConfig`.
 
@@ -219,10 +220,17 @@ class HODLRSolver:
         (Audited in PR 5: the context path used to have no override seam,
         so callers combining an explicit dispatch policy with a
         precision-carrying config silently lost one of the two.)
+
+        An explicit ``context=`` replaces the one the config would build —
+        this is how :class:`~repro.api.operator.HODLROperator` hands its
+        auto-tuned (``tuning="auto"``) context down instead of having the
+        derivation re-run here from the raw config fields.
         """
         make_context = getattr(config, "execution_context", None)
         kwargs: Dict[str, Any]
-        if callable(make_context):
+        if context is not None:
+            kwargs = {"context": resolve_context(context, backend, dispatch_policy)}
+        elif callable(make_context):
             ctx = resolve_context(make_context(), backend, dispatch_policy)
             kwargs = {"context": ctx}
         else:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import ClusterTree
-from repro.core.cluster_tree import TreeNode
 
 
 class TestConstruction:

@@ -9,7 +9,6 @@ from repro import (
     ClusterTree,
     FlatFactorization,
     HODLRSolver,
-    RecursiveFactorization,
     build_hodlr,
 )
 from conftest import hodlr_friendly_matrix

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import ClusterTree, HODLRMatrix, build_hodlr, build_hodlr_from_dense
-from conftest import hodlr_friendly_matrix, complex_test_matrix
+from repro import build_hodlr, build_hodlr_from_dense
+from conftest import hodlr_friendly_matrix
 
 
 class TestConstruction:
