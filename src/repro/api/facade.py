@@ -95,7 +95,10 @@ def _coerce_config(
 
 
 def _resolve_problem(
-    problem: ProblemLike, config, problem_params: dict, tuning: Optional[str] = None
+    problem: ProblemLike,
+    config: Optional[Any],
+    problem_params: dict,
+    tuning: Optional[str] = None,
 ) -> Tuple[Any, SolverConfig]:
     """Instantiate a named problem and settle the effective config.
 

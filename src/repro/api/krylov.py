@@ -17,7 +17,7 @@ The ``preconditioner`` argument takes an :class:`HODLROperator` (its
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, cg, gmres
@@ -92,7 +92,7 @@ def gmres_solve(
     A = LinearOperator((n, n), matvec=matvec, dtype=dtype)
     log = IterationLog(residuals=[])
 
-    def callback(rk):
+    def callback(rk: Any) -> None:
         # scipy passes either the residual norm (legacy) or the residual vector
         log.residuals.append(float(np.linalg.norm(rk)) if np.ndim(rk) else float(rk))
 
@@ -131,7 +131,7 @@ def cg_solve(
     A = LinearOperator((n, n), matvec=matvec, dtype=b.dtype)
     log = IterationLog(residuals=[])
 
-    def callback(xk):
+    def callback(xk: Any) -> None:
         log.count += 1
         if record_residuals:
             log.residuals.append(float(np.linalg.norm(b - A.matvec(xk))))

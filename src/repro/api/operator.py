@@ -391,7 +391,7 @@ class HODLROperator(LinearOperator):
         return self.solver.last_solve_trace
 
     @property
-    def solve_plan(self):
+    def solve_plan(self) -> Optional[Any]:
         """The compiled :class:`~repro.core.factor_plan.SolvePlan` the
         operator's solves replay (``None`` until the first factorization)."""
         if self._solver is None:

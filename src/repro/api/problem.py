@@ -118,7 +118,7 @@ def register_problem(
     name: str,
     factory: Optional[Callable[..., Problem]] = None,
     overwrite: bool = False,
-):
+) -> Callable[..., Any]:
     """Register a problem factory under ``name``.
 
     ``factory`` may be a :class:`Problem` subclass or any callable returning

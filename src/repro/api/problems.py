@@ -36,7 +36,7 @@ Registered names
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Optional
+from typing import Any, Callable, ClassVar, Optional
 
 import numpy as np
 
@@ -241,7 +241,9 @@ class RPYMobilityProblem:
         )
 
 
-def _bie_assembled(name: str, bie, config: SolverConfig, rhs, metadata: dict) -> AssembledProblem:
+def _bie_assembled(
+    name: str, bie: Any, config: SolverConfig, rhs: Any, metadata: dict
+) -> AssembledProblem:
     comp = config.compression
     if comp.method != "proxy":
         raise ConfigError(

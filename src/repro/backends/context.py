@@ -250,15 +250,15 @@ class ExecutionContext:
         """Whether arrays live somewhere other than host NumPy memory."""
         return not isinstance(self.backend, NumpyBackend)
 
-    def asarray(self, x):
+    def asarray(self, x: Any) -> Any:
         """Coerce to the context's array type (no transfer for native arrays)."""
         return self.backend.asarray(x)
 
-    def to_device(self, x):
+    def to_device(self, x: Any) -> Any:
         """Explicit host -> device transfer (the facade-boundary entry point)."""
         return self.backend.from_host(x)
 
-    def to_host(self, x) -> np.ndarray:
+    def to_host(self, x: Any) -> np.ndarray:
         """Explicit device -> host transfer (the facade-boundary exit point)."""
         return self.backend.to_host(x)
 

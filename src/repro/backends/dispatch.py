@@ -41,7 +41,7 @@ tested on bare tuples in ``tests/test_dispatch.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Any, Callable, Dict, Hashable, List, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 from scipy import linalg as sla
@@ -443,37 +443,37 @@ class ArrayBackend(Protocol):
 
     name: str
 
-    def asarray(self, x): ...
+    def asarray(self, x: Any) -> Any: ...
 
-    def stack(self, xs: Sequence): ...
+    def stack(self, xs: Sequence[Any]) -> Any: ...
 
-    def concat(self, xs: Sequence, axis: int = 0): ...
+    def concat(self, xs: Sequence[Any], axis: int = 0) -> Any: ...
 
-    def zeros(self, shape, dtype=np.float64): ...
+    def zeros(self, shape: Tuple[int, ...], dtype: Any = np.float64) -> Any: ...
 
-    def eye(self, n: int, dtype=np.float64): ...
+    def eye(self, n: int, dtype: Any = np.float64) -> Any: ...
 
-    def broadcast_to(self, x, shape): ...
+    def broadcast_to(self, x: Any, shape: Tuple[int, ...]) -> Any: ...
 
-    def matmul(self, a, b): ...
+    def matmul(self, a: Any, b: Any) -> Any: ...
 
-    def norm(self, x): ...
+    def norm(self, x: Any) -> float: ...
 
-    def lu_factor(self, a, pivot: bool = True): ...
+    def lu_factor(self, a: Any, pivot: bool = True) -> Tuple[Any, Any]: ...
 
-    def lu_solve(self, lu, piv, b, pivot: bool = True): ...
+    def lu_solve(self, lu: Any, piv: Any, b: Any, pivot: bool = True) -> Any: ...
 
-    def lu_factor_batch(self, a, pivot: bool = True): ...
+    def lu_factor_batch(self, a: Any, pivot: bool = True) -> Tuple[Any, Any]: ...
 
-    def lu_solve_batch(self, lu, piv, b, pivot: bool = True): ...
+    def lu_solve_batch(self, lu: Any, piv: Any, b: Any, pivot: bool = True) -> Any: ...
 
-    def qr_batch(self, a): ...
+    def qr_batch(self, a: Any) -> Tuple[Any, Any]: ...
 
-    def svd_batch(self, a): ...
+    def svd_batch(self, a: Any) -> Tuple[Any, Any, Any]: ...
 
-    def to_host(self, x) -> np.ndarray: ...
+    def to_host(self, x: Any) -> np.ndarray: ...
 
-    def from_host(self, x): ...
+    def from_host(self, x: Any) -> Any: ...
 
     def synchronize(self) -> None: ...
 

@@ -30,7 +30,7 @@ Implementation notes
 
 from __future__ import annotations
 
-import time
+import time  # repro-lint: file-ignore[RL004] -- baseline harness: measures wall-clock factor/solve time by design
 from dataclasses import dataclass
 from typing import Dict, Tuple
 

@@ -8,7 +8,7 @@ the analytic cost formulas used in the comparison figures.
 
 from __future__ import annotations
 
-import time
+import time  # repro-lint: file-ignore[RL004] -- baseline harness: measures wall-clock factor/solve time by design
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 

@@ -22,7 +22,7 @@ This module reimplements that execution model:
 
 from __future__ import annotations
 
-import time
+import time  # repro-lint: file-ignore[RL004] -- baseline harness: measures wall-clock factor/solve time by design
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 

@@ -119,7 +119,7 @@ class ApplyPlan:
             members = [leaves[i] for i in bucket.indices]
             self.diag_buckets.append(
                 _DiagBucket(
-                    idx=np.stack([leaf.indices for leaf in members]),
+                    idx=np.stack([leaf.indices for leaf in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
                     D3=_pack([hodlr.diag[leaf.index] for leaf in members], tree.levels),
                 )
             )
@@ -139,8 +139,8 @@ class ApplyPlan:
                 self.lowrank_buckets.append(
                     _LowRankBucket(
                         level=level,
-                        row_idx=np.stack([rn.indices for rn, _, _, _ in members]),
-                        col_idx=np.stack([cn.indices for _, cn, _, _ in members]),
+                        row_idx=np.stack([rn.indices for rn, _, _, _ in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                        col_idx=np.stack([cn.indices for _, cn, _, _ in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
                         U3=_pack([Ub for _, _, Ub, _ in members], level),
                         Vh3=_pack([Vb.conj().T for _, _, _, Vb in members], level),
                     )

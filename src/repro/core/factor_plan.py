@@ -345,7 +345,7 @@ class FactorPlan:
         ngamma = len(self.tree.level_nodes(level))
         packed = self.k_lu_views(level)
         if packed is None:
-            empty = np.zeros((0, 0), dtype=self.dtype)
+            empty = self.context.backend.zeros((0, 0), dtype=self.dtype)
             empty_piv = np.empty(0, dtype=np.int64)
             return BatchedLU(
                 lu=[empty] * ngamma, piv=[empty_piv] * ngamma, pivot=self.pivot
@@ -372,16 +372,16 @@ class FactorPlan:
         sign: complex = 1.0
         logabs = 0.0
         for lb in self.leaf_buckets:
-            lu3 = np.asarray(xb.to_host(lb.lu3))
-            piv3 = np.asarray(lb.piv3)
+            lu3 = np.asarray(xb.to_host(lb.lu3))  # repro-lint: ignore[RL001] -- slogdet is host-side analysis: factors download once, reduce serially
+            piv3 = np.asarray(lb.piv3)  # repro-lint: ignore[RL001] -- pivot metadata is host-resident by design
             for j in range(lu3.shape[0]):
                 s, l = _lu_slogdet(lu3[j], piv3[j])
                 sign *= s
                 logabs += l
         for sw in self.sweeps:
             r = sw.rank
-            k_lu3 = np.asarray(xb.to_host(sw.k_lu3))
-            k_piv3 = np.asarray(sw.k_piv3)
+            k_lu3 = np.asarray(xb.to_host(sw.k_lu3))  # repro-lint: ignore[RL001] -- slogdet is host-side analysis: factors download once, reduce serially
+            k_piv3 = np.asarray(sw.k_piv3)  # repro-lint: ignore[RL001] -- pivot metadata is host-resident by design
             # the block-row swap relating K to the node factor contributes
             # (-1)^{r^2} per node; the pivot=False formulation applies a
             # second swap, cancelling it.

@@ -1,0 +1,134 @@
+"""Small AST helpers shared by the rules: import resolution, dtype literals.
+
+The rules reason about *canonical dotted names* (``numpy.zeros``,
+``scipy.linalg.lu_factor``, ``time.perf_counter``) so that aliasing —
+``import numpy as np``, ``from scipy import linalg as sla``, ``from time
+import perf_counter`` — cannot hide a call from a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+#: numpy scalar-type attributes that denote integer/boolean storage — host
+#: index and pivot metadata, exempt from backend purity by design
+INT_BOOL_DTYPE_NAMES = frozenset(
+    {
+        "bool_",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "intc",
+        "intp",
+        "longlong",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "uintc",
+        "uintp",
+    }
+)
+
+#: numpy scalar-type attributes that hard-code a floating/complex precision
+FLOAT_COMPLEX_DTYPE_NAMES = frozenset(
+    {
+        "half",
+        "single",
+        "double",
+        "longdouble",
+        "float16",
+        "float32",
+        "float64",
+        "float128",
+        "csingle",
+        "cdouble",
+        "clongdouble",
+        "complex64",
+        "complex128",
+        "complex256",
+    }
+)
+
+
+class ImportMap:
+    """Maps local names to the canonical dotted module/object they denote."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import scipy.linalg` binds `scipy`; an asname binds
+                    # the full dotted path
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._names[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never reach numpy/scipy/time
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain, or None."""
+        parts = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self._names.get(cur.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _dtype_expr_name(node: ast.expr, imports: ImportMap) -> Optional[str]:
+    """The scalar-type name an explicit dtype expression spells, if literal.
+
+    Recognises ``np.float64`` (any numpy attribute), builtin ``float`` /
+    ``complex`` / ``int`` / ``bool`` names, string constants
+    (``"float64"``), and ``np.dtype("float64")`` wrappers.  Returns the
+    bare type name, or None for dynamic expressions.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name) and node.id in ("float", "complex", "int", "bool"):
+        return node.id
+    resolved = imports.resolve(node)
+    if resolved is not None and resolved.startswith("numpy."):
+        return resolved.rsplit(".", 1)[1]
+    if isinstance(node, ast.Call):
+        resolved = imports.resolve(node.func)
+        if resolved == "numpy.dtype" and len(node.args) == 1:
+            return _dtype_expr_name(node.args[0], imports)
+    return None
+
+
+def is_int_or_bool_dtype(node: ast.expr, imports: ImportMap) -> bool:
+    name = _dtype_expr_name(node, imports)
+    return name is not None and (
+        name in INT_BOOL_DTYPE_NAMES or name in ("int", "bool", "bool_")
+    )
+
+
+def is_float_or_complex_literal_dtype(node: ast.expr, imports: ImportMap) -> bool:
+    name = _dtype_expr_name(node, imports)
+    return name is not None and (
+        name in FLOAT_COMPLEX_DTYPE_NAMES or name in ("float", "complex")
+    )

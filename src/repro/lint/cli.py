@@ -1,0 +1,145 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 — clean; 1 — violations (or, with ``--list-pragmas``,
+pragma-hygiene findings); 2 — usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import LintConfigError, load_config
+from .registry import all_rules
+from .runner import LintResult, run_lint
+from .violations import INTERNAL_CODE
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Repo-specific static analysis: backend purity, dtype policy, "
+            "trace accounting, determinism, config serialization."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: configured roots)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits workflow-command annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (e.g. RL001,RL004)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="explicit pyproject.toml to read [tool.repro-lint] from",
+    )
+    parser.add_argument(
+        "--list-pragmas",
+        action="store_true",
+        help="audit mode: list every suppression pragma with its reason",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for spec in all_rules():
+        print(f"{spec.code} {spec.name} [{spec.scope}] — {spec.summary}")
+
+
+def _emit(result: LintResult, fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+        return
+    for v in result.violations:
+        print(v.format_github() if fmt == "github" else v.format_text())
+    if fmt == "text":
+        n = len(result.violations)
+        print(
+            f"repro-lint: {n} finding{'s' if n != 1 else ''} in "
+            f"{len(result.files)} files"
+            if n
+            else f"repro-lint: {len(result.files)} files clean"
+        )
+
+
+def _emit_pragmas(result: LintResult, fmt: str) -> None:
+    if fmt == "json":
+        payload = result.to_json_dict()
+        payload["violations"] = [
+            v.to_dict() for v in result.violations if v.code == INTERNAL_CODE
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    for p in result.pragmas:
+        codes = ",".join(p.codes)
+        status = "used" if p.used else "UNUSED"
+        print(f"{p.path}:{p.line}: {p.kind}[{codes}] ({status}) -- {p.reason}")
+    problems = [v for v in result.violations if v.code == INTERNAL_CODE]
+    for v in problems:
+        print(v.format_github() if fmt == "github" else v.format_text())
+    print(
+        f"repro-lint: {len(result.pragmas)} pragma"
+        f"{'s' if len(result.pragmas) != 1 else ''}, "
+        f"{len(problems)} hygiene finding{'s' if len(problems) != 1 else ''}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+        known = {spec.code for spec in all_rules()}
+        unknown = [c for c in select if c not in known]
+        if unknown:
+            print(f"repro-lint: unknown rule code(s) {unknown}", file=sys.stderr)
+            return 2
+
+    try:
+        config = load_config(
+            start=Path.cwd(),
+            explicit=Path(args.config) if args.config else None,
+        )
+    except (LintConfigError, OSError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(args.paths or None, config=config, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_pragmas:
+        _emit_pragmas(result, args.format)
+        return 0 if not any(
+            v.code == INTERNAL_CODE for v in result.violations
+        ) else 1
+
+    _emit(result, args.format)
+    return 0 if result.ok else 1

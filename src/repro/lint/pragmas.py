@@ -1,0 +1,172 @@
+"""Suppression pragmas: ``# repro-lint: ignore[RLxxx] -- reason``.
+
+Two forms, both requiring a reason after ``--``:
+
+``# repro-lint: ignore[RL001] -- why this line is deliberate``
+    Suppresses the named rule(s) on the line the comment sits on (the line
+    the violation is reported at — for a multi-line call, the line of the
+    call's opening name).
+
+``# repro-lint: file-ignore[RL004] -- why this whole module is exempt``
+    Suppresses the named rule(s) for the entire file.  Conventionally
+    placed in the module docstring's vicinity (the scanner accepts it on
+    any line, but reviewers expect it at the top).
+
+Multiple codes separate with commas: ``ignore[RL001, RL002]``.  A pragma
+with no reason, an empty reason, or an unknown form is reported as RL000 —
+the audit trail must stay honest, so reasonless suppressions fail CI.
+Pragmas are recognised lexically (via :mod:`tokenize`), so they work on any
+line, including inside multi-line expressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .violations import INTERNAL_CODE, Violation, is_suppressible
+
+#: anything that starts like one of ours; validated strictly afterwards so
+#: near-miss spellings fail loudly instead of silently not suppressing
+_PRAGMA_HINT = re.compile(r"#\s*repro-lint\s*:")
+
+_PRAGMA = re.compile(
+    r"""#\s*repro-lint\s*:\s*
+        (?P<kind>file-ignore|ignore)
+        \[(?P<codes>[^\]]*)\]
+        \s*(?:--\s*(?P<reason>.*\S)\s*)?$""",
+    re.VERBOSE,
+)
+
+_CODE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    path: str
+    line: int
+    kind: str  # "ignore" | "file-ignore"
+    codes: Tuple[str, ...]
+    reason: Optional[str]
+    #: set by the suppression pass when the pragma absorbed >= 1 violation
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def file_level(self) -> bool:
+        return self.kind == "file-ignore"
+
+
+def scan_pragmas(path: str, source: str) -> Tuple[List[Pragma], List[Violation]]:
+    """All pragmas in ``source`` plus RL000 findings for malformed ones."""
+    pragmas: List[Pragma] = []
+    problems: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # the runner reports unparseable files separately
+        return pragmas, problems
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or not _PRAGMA_HINT.search(tok.string):
+            continue
+        line = tok.start[0]
+        match = _PRAGMA.search(tok.string)
+        if match is None:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=tok.start[1],
+                    code=INTERNAL_CODE,
+                    message=(
+                        "malformed repro-lint pragma; expected "
+                        "'# repro-lint: ignore[RLxxx] -- reason' or "
+                        "'# repro-lint: file-ignore[RLxxx] -- reason'"
+                    ),
+                )
+            )
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(",") if c.strip())
+        bad = [c for c in codes if not _CODE.match(c)] or (
+            [] if codes else ["<empty>"]
+        )
+        reason = match.group("reason")
+        pragma = Pragma(
+            path=path,
+            line=line,
+            kind=match.group("kind"),
+            codes=codes,
+            reason=reason,
+        )
+        if bad:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=tok.start[1],
+                    code=INTERNAL_CODE,
+                    message=f"pragma names invalid rule code(s) {bad}; use RLxxx",
+                )
+            )
+        elif any(not is_suppressible(c) for c in codes):
+            problems.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=tok.start[1],
+                    code=INTERNAL_CODE,
+                    message=f"{INTERNAL_CODE} findings cannot be suppressed",
+                )
+            )
+        elif reason is None:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=tok.start[1],
+                    code=INTERNAL_CODE,
+                    message=(
+                        f"pragma suppressing {', '.join(codes)} has no reason; "
+                        "append ' -- <why this exception is deliberate>'"
+                    ),
+                )
+            )
+        else:
+            pragmas.append(pragma)
+    return pragmas, problems
+
+
+def apply_suppressions(
+    violations: List[Violation], pragmas: List[Pragma]
+) -> List[Violation]:
+    """Drop violations absorbed by a pragma; mark the pragmas used.
+
+    Only well-formed, reasoned pragmas reach this point, so suppression is
+    a straight lookup: file-level pragmas match by code, line-level ones by
+    (line, code).
+    """
+    file_codes = {c for p in pragmas if p.file_level for c in p.codes}
+    line_codes = {
+        (p.line, c) for p in pragmas if not p.file_level for c in p.codes
+    }
+    kept: List[Violation] = []
+    for v in violations:
+        if not is_suppressible(v.code):
+            kept.append(v)
+            continue
+        if v.code in file_codes:
+            for p in pragmas:
+                if p.file_level and v.code in p.codes:
+                    p.used = True
+            continue
+        if (v.line, v.code) in line_codes:
+            for p in pragmas:
+                if not p.file_level and p.line == v.line and v.code in p.codes:
+                    p.used = True
+            continue
+        kept.append(v)
+    return kept

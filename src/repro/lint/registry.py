@@ -1,0 +1,60 @@
+"""Rule registry: rules are named, documented, and individually selectable.
+
+A *file rule* runs once per collected file and sees that file's parsed AST;
+a *project rule* runs once per lint invocation and sees every collected
+file, which is what the cross-module contracts (RL003, RL005) need.  Rules
+register themselves via the :func:`register_rule` decorator, so adding a
+rule is: write a generator function, decorate it, document it in README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from .violations import Violation
+
+#: file rule: (FileContext) -> iterable of violations
+#: project rule: (ProjectContext) -> iterable of violations
+RuleFunc = Callable[..., Iterable[Violation]]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    code: str
+    name: str
+    scope: str  # "file" | "project"
+    summary: str
+    func: RuleFunc
+
+
+_RULES: Dict[str, RuleSpec] = {}
+
+
+def register_rule(code: str, name: str, scope: str, summary: str):
+    """Class the decorated generator function as rule ``code``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        if code in _RULES:
+            raise ValueError(f"rule {code} is already registered")
+        _RULES[code] = RuleSpec(
+            code=code, name=name, scope=scope, summary=summary, func=func
+        )
+        return func
+
+    return decorate
+
+
+def all_rules() -> List[RuleSpec]:
+    return [_RULES[c] for c in sorted(_RULES)]
+
+
+def get_rule(code: str) -> RuleSpec:
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; registered: {sorted(_RULES)}"
+        ) from None

@@ -1,0 +1,212 @@
+"""Collection and orchestration: files -> ASTs -> rules -> suppressions.
+
+``run_lint`` is the single entry point the CLI and the tests share.  It
+collects ``.py`` files under the requested paths, parses each once, runs
+every registered file rule per file and every project rule once, then
+applies pragma suppressions per file and returns a :class:`LintResult`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+from .astutil import ImportMap
+from .config import LintConfig
+from .pragmas import Pragma, apply_suppressions, scan_pragmas
+from .registry import RuleSpec, all_rules
+from .violations import INTERNAL_CODE, Violation
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as the file rules see it."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    config: LintConfig
+
+
+@dataclass
+class ProjectContext:
+    """Every collected file keyed by project-relative path, for project rules."""
+
+    config: LintConfig
+    files: Dict[str, FileContext]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    pragmas: List[Pragma] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files_checked": len(self.files),
+            "violations": [v.to_dict() for v in self.violations],
+            "pragmas": [
+                {
+                    "path": p.path,
+                    "line": p.line,
+                    "kind": p.kind,
+                    "codes": list(p.codes),
+                    "reason": p.reason,
+                    "used": p.used,
+                }
+                for p in self.pragmas
+            ],
+        }
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _excluded(relpath: str, config: LintConfig) -> bool:
+    parts = relpath.split("/")
+    if "__pycache__" in parts:
+        return True
+    for prefix in config.exclude:
+        norm = prefix.rstrip("/")
+        if relpath == norm or relpath.startswith(norm + "/"):
+            return True
+    return False
+
+
+def collect_files(
+    paths: Sequence[Union[str, Path]], config: LintConfig
+) -> List[Path]:
+    """All ``.py`` files under ``paths`` (resolved against the project root)."""
+    out: Dict[str, Path] = {}
+    for entry in paths:
+        p = Path(entry)
+        if not p.is_absolute():
+            candidate = config.root / p
+            p = candidate if candidate.exists() or not p.exists() else p
+        if p.is_dir():
+            found: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            found = [p]
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {entry}")
+        for f in found:
+            rel = _relpath(f, config.root)
+            if not _excluded(rel, config):
+                out[rel] = f
+    return [out[rel] for rel in sorted(out)]
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    config: Optional[LintConfig] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (default: the configured roots) and return the result.
+
+    ``select`` restricts to the named rule codes (RL000 pragma hygiene
+    always runs — the audit trail is not optional).
+    """
+    config = config or LintConfig()
+    files = collect_files(paths or config.paths, config)
+
+    selected: List[RuleSpec] = [
+        spec
+        for spec in all_rules()
+        if select is None or spec.code in set(select)
+    ]
+
+    contexts: Dict[str, FileContext] = {}
+    pragmas_by_file: Dict[str, List[Pragma]] = {}
+    raw: List[Violation] = []
+
+    for path in files:
+        rel = _relpath(path, config.root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raw.append(
+                Violation(
+                    path=rel,
+                    line=1,
+                    col=0,
+                    code=INTERNAL_CODE,
+                    message=f"could not read file: {exc}",
+                )
+            )
+            continue
+        pragmas, problems = scan_pragmas(rel, source)
+        pragmas_by_file[rel] = pragmas
+        raw.extend(problems)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raw.append(
+                Violation(
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=INTERNAL_CODE,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            )
+            continue
+        contexts[rel] = FileContext(
+            path=path,
+            relpath=rel,
+            source=source,
+            tree=tree,
+            imports=ImportMap(tree),
+            config=config,
+        )
+
+    for spec in selected:
+        if spec.scope != "file":
+            continue
+        for ctx in contexts.values():
+            raw.extend(spec.func(ctx))
+
+    project = ProjectContext(config=config, files=contexts)
+    for spec in selected:
+        if spec.scope == "project":
+            raw.extend(spec.func(project))
+
+    # suppression is per file: a pragma only ever silences its own module
+    by_file: Dict[str, List[Violation]] = {}
+    for v in raw:
+        by_file.setdefault(v.path, []).append(v)
+    kept: List[Violation] = []
+    all_pragmas: List[Pragma] = []
+    for rel in sorted(set(by_file) | set(pragmas_by_file)):
+        pragmas = pragmas_by_file.get(rel, [])
+        all_pragmas.extend(pragmas)
+        kept.extend(apply_suppressions(by_file.get(rel, []), pragmas))
+
+    return LintResult(
+        violations=sorted(set(kept)),
+        pragmas=all_pragmas,
+        files=sorted(contexts),
+    )
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], config: Optional[LintConfig] = None
+) -> List[Violation]:
+    """Convenience wrapper: just the surviving violations."""
+    return run_lint(paths, config=config).violations

@@ -1,0 +1,60 @@
+"""The violation record every rule emits and the reporters consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, attached to a file position.
+
+    ``path`` is repo-root-relative (POSIX separators) so reports are stable
+    across machines; ``line`` is 1-based, ``col`` 0-based (ast convention).
+    Ordering is by path, then position, then code — the report order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def format_github(self) -> str:
+        """One GitHub Actions workflow-command annotation line."""
+        message = self.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        return (
+            f"::error file={self.path},line={self.line},col={self.col + 1},"
+            f"title={self.code}::{self.code} {message}"
+        )
+
+
+#: rule code reserved for the linter itself (unparseable files, malformed or
+#: reasonless pragmas).  RL000 findings cannot be suppressed.
+INTERNAL_CODE = "RL000"
+
+
+def is_suppressible(code: str) -> bool:
+    return code != INTERNAL_CODE
+
+
+def make_violation(
+    path: str, node: Optional[Any], code: str, message: str
+) -> Violation:
+    """Violation at an ast node's position (or 1:0 for file-level findings)."""
+    line = getattr(node, "lineno", 1) if node is not None else 1
+    col = getattr(node, "col_offset", 0) if node is not None else 0
+    return Violation(path=path, line=line, col=col, code=code, message=message)
