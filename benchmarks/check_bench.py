@@ -3,7 +3,7 @@
 ``record_bench.py`` writes a ``counters`` section — launch counts, flop
 totals, and plan storage bytes of a fixed-size SVD-compressed probe — that
 is reproducible across hosts (no wall-clock in it).  This script compares
-a fresh smoke run against the committed ``BENCH_pr6.json`` with explicit
+a fresh smoke run against the committed ``BENCH_pr8.json`` with explicit
 per-class tolerances and exits nonzero when a counter regressed, which is
 what makes the CI ``perf-gate`` job *blocking*: a change that doubles the
 launches per solve or bloats the plan storage fails the build even though
@@ -15,7 +15,11 @@ Tolerances (relative, against the baseline value):
   2% — launch counts are schedule facts, but a BLAS-rounding rank wobble
   of +-1 can merge or split a shape bucket;
 * flops (``*_flops``) and plan bytes (``*_bytes``): 5% — rank wobble
-  moves these proportionally to the affected blocks.
+  moves these proportionally to the affected blocks;
+* operator-cache counters (``cache_*``): exact — hits, misses, and
+  evictions of the fixed access script are scripted integers, so any
+  drift means a keying bug (a hit became a rebuild, or worse, a stale
+  operator was served).
 
 Improvements (counters *below* baseline by more than the tolerance) are
 reported but never fail; commit a regenerated baseline to lock them in.
@@ -25,7 +29,7 @@ visibility but are informational only.
 Usage::
 
     python benchmarks/check_bench.py --current BENCH_smoke.json \
-        --baseline BENCH_pr6.json [--summary out.md]
+        --baseline BENCH_pr8.json [--summary out.md]
 
 With ``$GITHUB_STEP_SUMMARY`` set (GitHub Actions), the markdown report is
 appended there automatically.
@@ -44,6 +48,7 @@ DEFAULT_TOLERANCES = {
     "launches": 0.02,
     "flops": 0.05,
     "bytes": 0.05,
+    "cache": 0.0,
 }
 
 #: counter keys that are descriptive, not gated
@@ -54,6 +59,8 @@ def classify(key: str) -> Optional[str]:
     """The tolerance class of a counter key (``None`` = not gated)."""
     if key in SKIP_KEYS:
         return None
+    if key.startswith("cache_"):
+        return "cache"
     if key.endswith("_flops"):
         return "flops"
     if key.endswith("_bytes"):

@@ -1,38 +1,45 @@
-"""Record the repo's measured perf trajectory: ``BENCH_pr6.json``.
+"""Record the repo's measured perf trajectory: ``BENCH_pr8.json``.
 
 Times the hot paths of the batched pipeline — HODLR **construction**, the
 **matvec/GMRES apply loop**, the **end-to-end solve**, the **compiled
 SolvePlan** rows (repeated direct solves and the GMRES-preconditioner
 apply loop through the packed :class:`~repro.core.factor_plan.FactorPlan`
 against the per-solve re-bucketing sweep), the float32 *factor*-storage
-rows, the three-variant equivalence check — and, new in PR 6, the
-**tuned-vs-default** row (``repro.solve(..., tuning="auto")`` through the
-calibrated :class:`~repro.backends.calibration.MachineProfile` against the
-hard-coded dispatch constants, solutions identical to 1e-12).
+rows, the three-variant equivalence check, the PR-6 **tuned-vs-default**
+row — and, new in PR 8, the cross-solve reuse rows: the **fused multi-RHS
+solve** (one compiled-plan replay for a whole ``(n, K)`` block vs K
+sequential plan solves through the same factorization) and the
+**parameter sweep** (``repro.run_sweep`` recycling the cluster tree,
+skeletons, and cached distance blocks across a 16-point Helmholtz
+frequency sweep vs 16 independent ``repro.solve`` calls).
 
 Besides the wall-clock rows the run records a ``counters`` section:
 deterministic kernel-trace counters (launch counts, flops, plan storage
 bytes) of an **SVD-compressed probe problem at a fixed size** — the same
 size in ``--smoke`` and full mode, so the committed baseline is directly
-comparable to a CI smoke run.  ``benchmarks/check_bench.py`` diffs these
-counters against the committed baseline and fails CI on regression; the
-wall-clock rows stay informational.
+comparable to a CI smoke run.  PR 8 adds the fused K=8 multi-RHS launch
+counter (a fused block solve must replay the plan exactly once, so the
+count cannot scale with K) and the operator-cache hit/miss/eviction
+counters of a fixed access script.  ``benchmarks/check_bench.py`` diffs
+these counters against the committed baseline and fails CI on regression;
+the wall-clock rows stay informational.
 
 Usage::
 
-    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr6.json
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr8.json
     python benchmarks/record_bench.py --smoke         # CI perf-gate sizes
     python benchmarks/record_bench.py --output out.json
 
-The full run reproduces the PR-5/PR-6 acceptance numbers: >= 1.5x on
-repeated solves (50-solve loop and GMRES-preconditioner apply at N=16384)
-for the compiled SolvePlan vs the per-solve sweep path, all three
-factorization variants identical through the shared FactorPlan to 1e-12,
-and the auto-tuned solve identical to the default-policy solve to 1e-12
-at N=16384.  Both the full and smoke runs also *assert the plan path is
-actually taken* via the kernel trace
-(``num_plan_launches == launches_per_solve``), so a regression to
-per-solve re-bucketing fails the job loudly.
+The full run reproduces the acceptance numbers: >= 1.5x on repeated
+solves and the GMRES-preconditioner apply at N=16384 (PR 5), the
+auto-tuned solve identical to the default-policy solve to 1e-12 at
+N=16384 (PR 6), a fused K=32 block solve >= 4x faster than 32 sequential
+plan solves at N=16384 with identical solutions to 1e-12 (PR 8), and the
+16-point Helmholtz sweep >= 2x faster than independent re-builds at equal
+residual (PR 8).  Both the full and smoke runs also *assert the plan path
+is actually taken* via the kernel trace (``num_plan_launches ==
+launches_per_solve``, for block right-hand sides independent of K), so a
+regression to per-solve re-bucketing fails the job loudly.
 """
 
 from __future__ import annotations
@@ -218,6 +225,99 @@ def bench_gmres_preconditioner(H, iters=50, min_speedup=None):
     return row
 
 
+def bench_multi_rhs(H, K=32, min_speedup=None):
+    """The PR-8 acceptance row: one fused ``(n, K)`` solve through the
+    compiled SolvePlan vs K sequential plan solves, same factorization.
+
+    Also trace-asserts launch-count independence of K: a fused block solve
+    replays the plan exactly once whether K is 1, 8, or 32.
+    """
+    solver = HODLRSolver(H, variant="batched").factorize()
+    rng = np.random.default_rng(8)
+    B = rng.standard_normal((H.n, K))
+    solver.solve(B[:, 0])  # warm: attach plan state outside the timing
+
+    def run_fused():
+        return solver.solve(B)
+
+    def run_sequential():
+        return np.stack(
+            [solver.solve(np.ascontiguousarray(B[:, j])) for j in range(K)], axis=1
+        )
+
+    tf, ts, Xf, Xs = _timed_pair_best(run_fused, run_sequential)
+    rel = float(np.linalg.norm(Xf - Xs) / np.linalg.norm(Xs))
+    plan = solver.solve_plan
+    assert plan is not None, "compiled SolvePlan missing"
+    rec = get_recorder()
+    for k in (1, 8, K):
+        with rec.recording() as tr:
+            solver.solve(np.ascontiguousarray(B[:, :k]))
+        assert tr.num_plan_launches == plan.launches_per_solve, (
+            f"fused K={k} solve took {tr.num_plan_launches} plan launches, "
+            f"expected {plan.launches_per_solve} (independent of K)"
+        )
+    row = _row(f"multi_rhs_solve_K{K}", tf, ts, fast_label="fused",
+               slow_label="sequential", n=H.n, K=K, agreement=rel,
+               launches_per_solve=plan.launches_per_solve)
+    assert rel < 1e-12, f"fused and sequential solves disagree: {rel}"
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"fused multi-RHS speedup {row['speedup']} below {min_speedup}x"
+        )
+    return row
+
+
+def bench_param_sweep(n, points=16, min_speedup=None):
+    """The PR-8 sweep row: a ``points``-step Helmholtz frequency sweep via
+    ``repro.run_sweep`` (recycled cluster tree, skeletons, cached distance
+    blocks) vs the same sweep as independent ``repro.solve`` calls.
+
+    Residual parity is checked against the *exact* operator from the
+    independent side: every recycled solution must be as accurate as the
+    full rebuild it replaces (single-shot timing — at seconds per side the
+    construction-style one-shot is representative).
+    """
+    kappas = [10.0 + 0.5 * i for i in range(points)]
+
+    def run_independent():
+        # keep only (x, exact matvec, rhs) per step: the exact operator is
+        # the light KernelMatrix.matvec closure, while each step's HODLR
+        # factorization is hundreds of MB at full size — holding all of
+        # them alive would thrash memory and poison both sides' timings
+        records = []
+        for k in kappas:
+            res = repro.solve("helmholtz_kernel", n=n, kappa=k)
+            records.append((res.x, res.problem.operator, res.problem.rhs))
+        return records
+
+    ti, independents = _timed(run_independent)
+    ts, sweep = _timed(
+        lambda: repro.run_sweep(
+            "helmholtz_kernel", [{"kappa": k} for k in kappas], n=n
+        )
+    )
+    assert all(step.recycled for step in sweep.steps), "sweep did not recycle"
+    worst = 0.0
+    for step, (x_full, exact, b) in zip(sweep.steps, independents):
+        r_sweep = float(np.linalg.norm(b - exact(step.x)) / np.linalg.norm(b))
+        r_full = float(np.linalg.norm(b - exact(x_full)) / np.linalg.norm(b))
+        worst = max(worst, r_sweep)
+        assert r_sweep < 10 * max(r_full, 1e-12), (
+            f"sweep step kappa={step.params['kappa']} residual {r_sweep:.2e} "
+            f"worse than independent rebuild {r_full:.2e}"
+        )
+    fallbacks = sum(step.fallback_blocks for step in sweep.steps)
+    row = _row(f"helmholtz_sweep_{points}pt", ts, ti, fast_label="sweep",
+               slow_label="independent", n=n, points=points,
+               worst_relres=worst, fallback_blocks=fallbacks)
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"sweep speedup {row['speedup']} below {min_speedup}x"
+        )
+    return row
+
+
 def bench_variant_equivalence(n, tol=1e-10):
     """All three variants through the shared FactorPlan, identical to 1e-12."""
     km = _gaussian_km(n)
@@ -358,6 +458,16 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
         solver.solve(b)
     plan = solver.solve_plan
     assert plan is not None and tr_sol.num_plan_launches == plan.launches_per_solve
+    # fused multi-RHS probe (PR 8): an (n, 8) block solve must replay the
+    # plan exactly once — the launch count cannot scale with K
+    B8 = rng.standard_normal((n, 8))
+    solver.solve(B8)  # warm any 2-D scratch outside the recorded solve
+    with rec.recording() as tr_blk:
+        solver.solve(B8)
+    assert tr_blk.num_plan_launches == plan.launches_per_solve, (
+        f"fused K=8 probe took {tr_blk.num_plan_launches} plan launches, "
+        f"expected {plan.launches_per_solve}"
+    )
     apply_plan = H.build_apply_plan(force=True)
     counters = {
         "n": n,
@@ -368,15 +478,46 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
         "launches_per_solve": plan.launches_per_solve,
         "solve_plan_launches": tr_sol.num_plan_launches,
         "solve_flops": tr_sol.total_flops,
+        "multirhs_k8_plan_launches": tr_blk.num_plan_launches,
         "factor_plan_bytes": int(solver.factor_plan.nbytes),
         "apply_plan_bytes": int(apply_plan.nbytes),
         "apply_launches_per_matvec": apply_plan.launches_per_apply,
     }
+    counters.update(collect_cache_counters())
     print(f"  {'counters_probe':<38s} n={n}  launches/solve "
           f"{counters['launches_per_solve']}  factor launches "
           f"{counters['factor_launches']}  construction launches "
           f"{counters['construction_launches']}")
     return counters
+
+
+def collect_cache_counters(n=256):
+    """Deterministic operator-cache counters of a fixed access script.
+
+    A private two-slot LRU runs a scripted sequence — build A, rebuild A
+    (hit), build B (miss), build C (miss + evict A) — so the committed
+    hit/miss/eviction counts are exact integers the perf gate can diff at
+    zero tolerance: a keying bug that turns hits into misses (or serves a
+    stale operator) shifts the script's counts.
+    """
+    from repro import OperatorCache
+
+    cache = OperatorCache(maxsize=2)
+    repro.build_operator("gaussian_kernel", n=n, cache=cache)
+    repro.build_operator("gaussian_kernel", n=n, cache=cache)
+    repro.build_operator("gaussian_kernel", n=n, lengthscale=0.5, cache=cache)
+    repro.build_operator("gaussian_kernel", n=n + 64, cache=cache)
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.evictions) == (1, 3, 1), (
+        f"cache access script drifted: {stats.to_dict()}"
+    )
+    print(f"  {'cache_probe':<38s} hits {stats.hits}  misses {stats.misses}  "
+          f"evictions {stats.evictions}")
+    return {
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_evictions": stats.evictions,
+    }
 
 
 def bench_end_to_end(problem, **params):
@@ -413,9 +554,11 @@ def main(argv=None):
     n_equiv = 1024 if args.smoke else 4096
     n_e2e = 1024 if args.smoke else 4096
     n_tuned = 2048 if args.smoke else 16384
+    n_sweep = 512 if args.smoke else 4096
+    sweep_points = 4 if args.smoke else 16
     rpy_particles = 96 if args.smoke else 400
     out_path = args.output or os.path.join(
-        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr6.json"
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr8.json"
     )
 
     print(f"recording {'smoke' if args.smoke else 'full'} benchmark "
@@ -435,7 +578,17 @@ def main(argv=None):
     benchmarks["gmres_precond_plan"] = bench_gmres_preconditioner(
         H, iters=50, min_speedup=None if args.smoke else 1.5
     )
+    # the PR-8 acceptance row: fused (n, 32) block solve vs 32 sequential
+    # plan solves, >= 4x on the full run, launches independent of K
+    benchmarks["multi_rhs_solve"] = bench_multi_rhs(
+        H, K=32, min_speedup=None if args.smoke else 4.0
+    )
     del H
+    # the PR-8 sweep row: recycled Helmholtz frequency sweep vs independent
+    # rebuilds, >= 2x on the full run at equal residual
+    benchmarks["helmholtz_sweep"] = bench_param_sweep(
+        n_sweep, points=sweep_points, min_speedup=None if args.smoke else 2.0
+    )
     benchmarks["variant_equivalence"] = bench_variant_equivalence(n_equiv)
     benchmarks["float32_factor_solve"] = bench_factor_precision(n_equiv)
     benchmarks["gaussian_end_to_end"] = bench_end_to_end(
@@ -455,15 +608,16 @@ def main(argv=None):
 
     payload = {
         "meta": {
-            "pr": 6,
+            "pr": 8,
             "smoke": bool(args.smoke),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "description": "calibrated auto-tuning (tuned-vs-default solve "
-                           "through the measured MachineProfile) and the "
-                           "deterministic counter section the CI perf-gate "
-                           "diffs, alongside the PR-3/4/5 trajectory",
+            "description": "cross-solve reuse: fused multi-RHS block solves "
+                           "(K-independent launch counts), the operator "
+                           "cache's deterministic hit/miss/eviction script, "
+                           "and the recycled Helmholtz parameter sweep, "
+                           "alongside the PR-3..6 trajectory",
         },
         "benchmarks": benchmarks,
         "counters": counters,

@@ -101,7 +101,12 @@ from .backends.calibration import (
 )
 
 from .kernels.kernel_matrix import KernelMatrix
-from .kernels.radial import GaussianKernel, MaternKernel, ExponentialKernel
+from .kernels.radial import (
+    ExponentialKernel,
+    GaussianKernel,
+    HelmholtzKernel2D,
+    MaternKernel,
+)
 from .kernels.rpy import RPYKernel
 
 from .bie.contour import StarContour, EllipseContour
@@ -120,17 +125,31 @@ from .elliptic.schur import SchurComplementSolver
 from . import api
 from .api import (
     AssembledProblem,
+    CacheStats,
     HODLRInverseOperator,
     HODLROperator,
+    OperatorCache,
     Problem,
     ProblemNotFoundError,
     SolveResult,
     SolverConfig,
+    SweepResult,
+    SweepStep,
+    SweepWorkspace,
     available_problems,
     build_operator,
+    cache_stats,
+    clear_operator_cache,
+    configure_operator_cache,
+    disable_operator_cache,
+    enable_operator_cache,
     get_problem,
+    operator_cache,
+    operator_cache_enabled,
     register_problem,
+    run_sweep,
     solve,
+    solve_many,
 )
 from .api.krylov import cg_solve, gmres_solve
 
@@ -140,6 +159,7 @@ __all__ = [
     # unified API (repro.api)
     "api",
     "solve",
+    "solve_many",
     "build_operator",
     "SolverConfig",
     "SolveResult",
@@ -153,6 +173,19 @@ __all__ = [
     "available_problems",
     "gmres_solve",
     "cg_solve",
+    "CacheStats",
+    "OperatorCache",
+    "cache_stats",
+    "clear_operator_cache",
+    "configure_operator_cache",
+    "disable_operator_cache",
+    "enable_operator_cache",
+    "operator_cache",
+    "operator_cache_enabled",
+    "SweepResult",
+    "SweepStep",
+    "SweepWorkspace",
+    "run_sweep",
     # core
     "ClusterTree",
     "TreeNode",
@@ -216,6 +249,7 @@ __all__ = [
     # kernels
     "KernelMatrix",
     "GaussianKernel",
+    "HelmholtzKernel2D",
     "MaternKernel",
     "ExponentialKernel",
     "RPYKernel",

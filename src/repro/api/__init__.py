@@ -11,7 +11,14 @@ One stable front door over the whole library:
   ``LinearOperator`` with lazy factorization, ``solve``, ``logdet``, and
   ``as_preconditioner()`` for Krylov methods;
 * :func:`gmres_solve` / :func:`cg_solve` — Krylov drivers accepting HODLR
-  operators and preconditioners directly.
+  operators and preconditioners directly, including fused ``(n, K)``
+  block right-hand sides;
+* :func:`solve_many` — fused multi-RHS direct solves (one compiled plan
+  replay for a whole ``(n, K)`` block);
+* :class:`OperatorCache` / :func:`enable_operator_cache` — a bounded
+  process-wide LRU of factorized operators (see :mod:`repro.api.cache`);
+* :func:`run_sweep` — parameter sweeps that recycle construction across
+  nearby kernel parameters (see :mod:`repro.api.sweep`).
 
 >>> import repro
 >>> from repro.api import CompressionConfig, SolverConfig
@@ -38,8 +45,20 @@ from .problem import (
 )
 from .operator import HODLRInverseOperator, HODLROperator
 from .krylov import IterationLog, as_preconditioner, cg_solve, gmres_solve
+from .cache import (
+    CacheStats,
+    OperatorCache,
+    cache_stats,
+    clear_operator_cache,
+    configure_operator_cache,
+    disable_operator_cache,
+    enable_operator_cache,
+    operator_cache,
+    operator_cache_enabled,
+)
 from . import problems  # noqa: F401  (registers the built-in problem adapters)
-from .facade import SolveResult, assemble, build_operator, solve
+from .facade import SolveResult, assemble, build_operator, solve, solve_many
+from .sweep import SweepResult, SweepStep, SweepWorkspace, run_sweep
 
 __all__ = [
     "COMPRESSION_METHODS",
@@ -66,4 +85,18 @@ __all__ = [
     "assemble",
     "build_operator",
     "solve",
+    "solve_many",
+    "CacheStats",
+    "OperatorCache",
+    "cache_stats",
+    "clear_operator_cache",
+    "configure_operator_cache",
+    "disable_operator_cache",
+    "enable_operator_cache",
+    "operator_cache",
+    "operator_cache_enabled",
+    "SweepResult",
+    "SweepStep",
+    "SweepWorkspace",
+    "run_sweep",
 ]

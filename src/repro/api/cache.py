@@ -1,0 +1,301 @@
+"""Process-wide LRU cache of factorized :class:`HODLROperator`\\ s.
+
+Assembly + factorization dominate every :func:`repro.solve` call; a sweep
+dashboard, a multi-tenant service, or a notebook re-running the same cell
+pays them again and again for *identical* requests.  This module gives the
+facade a bounded, process-wide LRU keyed by
+
+``(problem fingerprint, SolverConfig)``
+
+so repeated requests against the same configuration skip construction and
+factorization entirely and go straight to the (already compiled) plan
+solve.  :class:`~repro.api.config.SolverConfig` is frozen and hashable by
+design (the PR-2 contract), so the config *is* the second half of the key:
+any change — variant, dtype, compression tolerance, precision policy —
+hashes to a different entry, which is what makes dtype changes invalidate
+naturally instead of returning a stale operator.
+
+Fingerprinting
+--------------
+Only *reconstructable* problem spellings are fingerprinted (and therefore
+cacheable):
+
+* a registered problem name + its keyword parameters;
+* a dataclass :class:`~repro.api.problem.Problem` instance (its type and
+  field values are the fingerprint);
+* a square dense ``ndarray`` or a :class:`~repro.kernels.kernel_matrix.
+  KernelMatrix` (content-hashed — cheap next to compression).
+
+Already-assembled objects (:class:`~repro.api.problem.AssembledProblem`,
+:class:`~repro.core.hodlr.HODLRMatrix`) are *not* fingerprinted: they are
+mutable and the caller already holds the expensive object.  For those,
+:func:`problem_fingerprint` returns ``None`` and the facade bypasses the
+cache.
+
+Usage
+-----
+Caching is opt-in (cached operators are shared objects — their
+:class:`~repro.core.solver.SolveStats` accumulate across calls)::
+
+    repro.enable_operator_cache()            # process-wide, bounded LRU
+    repro.solve("gp_covariance", n=4096)     # miss: assemble + factorize
+    repro.solve("gp_covariance", n=4096)     # hit: straight to the solve
+    repro.operator_cache().stats             # hits / misses / evictions
+
+or per call: ``repro.solve(..., cache=True)``.  The hit/miss/eviction
+counters feed the benchmark counter section
+(:mod:`benchmarks.record_bench`) so the CI perf gate notices a regressed
+hit rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .config import SolverConfig
+
+__all__ = [
+    "CacheStats",
+    "OperatorCache",
+    "cache_stats",
+    "clear_operator_cache",
+    "configure_operator_cache",
+    "disable_operator_cache",
+    "enable_operator_cache",
+    "operator_cache",
+    "operator_cache_enabled",
+    "problem_fingerprint",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`OperatorCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+        }
+
+
+def _hash_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    h.update(str(arr.shape).encode())
+    h.update(np.dtype(arr.dtype).str.encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+
+
+def _fingerprint_value(h: "hashlib._Hash", value: Any) -> bool:
+    """Feed one parameter value into the hash; False = unfingerprintable."""
+    if isinstance(value, np.ndarray):
+        _hash_array(h, value)
+        return True
+    if isinstance(value, (str, bytes, bool, int, float, complex, type(None))):
+        h.update(repr(value).encode())
+        return True
+    if isinstance(value, (list, tuple)):
+        h.update(f"seq{len(value)}".encode())
+        return all(_fingerprint_value(h, v) for v in value)
+    if isinstance(value, dict):
+        h.update(f"map{len(value)}".encode())
+        return all(
+            _fingerprint_value(h, k) and _fingerprint_value(h, v)
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(type(value).__qualname__.encode())
+        return all(
+            _fingerprint_value(h, getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        )
+    return False
+
+
+def problem_fingerprint(
+    problem: Any, problem_params: Optional[Dict[str, Any]] = None
+) -> Optional[str]:
+    """A stable content fingerprint of a problem request, or ``None``.
+
+    ``None`` means the spelling is not reconstructable/immutable enough to
+    cache (an :class:`AssembledProblem`, an ``HODLRMatrix``, a problem
+    object that is neither a dataclass nor named) — the facade then
+    bypasses the operator cache for the call.
+    """
+    h = hashlib.sha256()
+    params = problem_params or {}
+    if isinstance(problem, str):
+        h.update(b"name:")
+        h.update(problem.encode())
+        if not _fingerprint_value(h, dict(params)):
+            return None
+        return h.hexdigest()
+    if params:
+        # parameters only combine with a registered name
+        return None
+    if isinstance(problem, np.ndarray):
+        if problem.ndim != 2:
+            return None
+        h.update(b"dense:")
+        _hash_array(h, problem)
+        return h.hexdigest()
+    # KernelMatrix without importing it here (avoid a cycle): duck-typed on
+    # its three defining attributes
+    if (
+        hasattr(problem, "kernel")
+        and hasattr(problem, "points")
+        and hasattr(problem, "diagonal_shift")
+    ):
+        h.update(b"kernel_matrix:")
+        ok = (
+            _fingerprint_value(h, problem.kernel)
+            and _fingerprint_value(h, np.asarray(problem.points))
+            and _fingerprint_value(h, problem.diagonal_shift)
+        )
+        return h.hexdigest() if ok else None
+    if dataclasses.is_dataclass(problem) and not isinstance(problem, type):
+        h.update(b"problem:")
+        if not _fingerprint_value(h, problem):
+            return None
+        return h.hexdigest()
+    return None
+
+
+class OperatorCache:
+    """A bounded LRU of factorized operators, keyed by
+    ``(problem fingerprint, SolverConfig)``.
+
+    Thread-safe: the facade may be consulted from a request pool.  Eviction
+    is strict LRU on *access* order; ``maxsize`` bounds the entry count
+    (each entry holds a full factorization, so the bound is the memory
+    knob).
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._store: "OrderedDict[Tuple[Hashable, SolverConfig], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def keys(self):
+        return list(self._store.keys())
+
+    def get(self, fingerprint: Hashable, config: SolverConfig) -> Optional[Any]:
+        """The cached operator for the key, or ``None`` (counts hit/miss)."""
+        key = (fingerprint, config)
+        with self._lock:
+            op = self._store.get(key)
+            if op is None:
+                self.stats.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return op
+
+    def put(self, fingerprint: Hashable, config: SolverConfig, operator: Any) -> None:
+        """Insert an operator, evicting least-recently-used entries."""
+        key = (fingerprint, config)
+        with self._lock:
+            self._store[key] = operator
+            self._store.move_to_end(key)
+            self.stats.inserts += 1
+            while len(self._store) > self._maxsize:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+
+    def resize(self, maxsize: int) -> None:
+        """Change the bound (evicting immediately if it shrank)."""
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        with self._lock:
+            self._maxsize = int(maxsize)
+            while len(self._store) > self._maxsize:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self, reset_stats: bool = False) -> None:
+        with self._lock:
+            self._store.clear()
+            if reset_stats:
+                self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OperatorCache(entries={len(self)}/{self._maxsize}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )
+
+
+#: the process-wide cache the facade consults
+_GLOBAL_CACHE = OperatorCache()
+#: whether ``repro.solve``/``build_operator`` consult it by default
+_ENABLED = False
+
+
+def operator_cache() -> OperatorCache:
+    """The process-wide :class:`OperatorCache` instance."""
+    return _GLOBAL_CACHE
+
+
+def operator_cache_enabled() -> bool:
+    """Whether the facade consults the cache when ``cache=None`` (default)."""
+    return _ENABLED
+
+
+def enable_operator_cache(maxsize: Optional[int] = None) -> OperatorCache:
+    """Turn on facade-level caching (optionally resizing the LRU bound)."""
+    global _ENABLED
+    _ENABLED = True
+    if maxsize is not None:
+        _GLOBAL_CACHE.resize(maxsize)
+    return _GLOBAL_CACHE
+
+
+def disable_operator_cache() -> None:
+    """Turn facade-level caching off (entries are kept until cleared)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def configure_operator_cache(maxsize: int) -> OperatorCache:
+    """Resize the process-wide cache; returns it."""
+    _GLOBAL_CACHE.resize(maxsize)
+    return _GLOBAL_CACHE
+
+
+def clear_operator_cache(reset_stats: bool = True) -> None:
+    """Drop every cached operator (and by default zero the counters)."""
+    _GLOBAL_CACHE.clear(reset_stats=reset_stats)
+
+
+def cache_stats() -> CacheStats:
+    """The process-wide cache's counters (hits / misses / evictions)."""
+    return _GLOBAL_CACHE.stats

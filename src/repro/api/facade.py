@@ -36,12 +36,24 @@ from ..core.cluster_tree import ClusterTree
 from ..core.hodlr import HODLRMatrix, build_hodlr
 from ..core.solver import SolveStats
 from ..kernels.kernel_matrix import KernelMatrix
+from .cache import (
+    OperatorCache,
+    operator_cache,
+    operator_cache_enabled,
+    problem_fingerprint,
+)
 from .config import ConfigError, SolverConfig
 from .operator import HODLROperator
 from .problem import AssembledProblem, Problem, get_problem
 from .problems import _kernel_assembled
 
 ProblemLike = Union[str, Problem, AssembledProblem, HODLRMatrix, KernelMatrix, np.ndarray]
+
+#: the ``cache=`` argument of :func:`solve` / :func:`build_operator`:
+#: ``None`` defers to the process-wide switch (see
+#: :func:`repro.enable_operator_cache`), ``True``/``False`` force it per
+#: call, an :class:`OperatorCache` supplies a private cache instance.
+CacheLike = Union[None, bool, OperatorCache]
 
 
 @dataclass
@@ -72,6 +84,9 @@ class SolveResult:
     problem: AssembledProblem
     config: SolverConfig
     relative_residual: Optional[float] = None
+    #: per-column relative residuals — set by :func:`solve_many` (the scalar
+    #: ``relative_residual`` is then their maximum)
+    column_residuals: Optional[np.ndarray] = None
 
     @property
     def stats(self) -> SolveStats:
@@ -161,6 +176,55 @@ def assemble(
     )
 
 
+def _resolve_cache(cache: CacheLike) -> Optional[OperatorCache]:
+    """Settle the effective :class:`OperatorCache` of one facade call."""
+    if cache is None:
+        return operator_cache() if operator_cache_enabled() else None
+    if cache is True:
+        return operator_cache()
+    if cache is False:
+        return None
+    if isinstance(cache, OperatorCache):
+        return cache
+    raise TypeError(
+        f"cache must be None, a bool, or an OperatorCache, got {type(cache).__name__}"
+    )
+
+
+def _cached_build(
+    problem: ProblemLike,
+    config: Optional[Union[SolverConfig, Mapping]],
+    problem_params: dict,
+    tuning: Optional[str],
+    cache: CacheLike,
+) -> Tuple[AssembledProblem, HODLROperator, SolverConfig]:
+    """Shared assemble+factorize path of :func:`solve`/:func:`build_operator`.
+
+    Consults the operator cache when one is in effect *and* the problem
+    spelling is fingerprintable (see
+    :func:`repro.api.cache.problem_fingerprint`); a hit skips assembly and
+    factorization entirely and returns the cached
+    ``(AssembledProblem, HODLROperator)`` pair.
+    """
+    cache_obj = _resolve_cache(cache)
+    fp = (
+        problem_fingerprint(problem, problem_params)
+        if cache_obj is not None
+        else None
+    )
+    problem, cfg = _resolve_problem(problem, config, problem_params, tuning)
+    if fp is not None:
+        cached = cache_obj.get(fp, cfg)
+        if cached is not None:
+            assembled, operator = cached
+            return assembled, operator, cfg
+    assembled = assemble(problem, cfg)
+    operator = _operator_for(assembled, cfg)
+    if fp is not None:
+        cache_obj.put(fp, cfg, (assembled, operator))
+    return assembled, operator, cfg
+
+
 def _operator_for(assembled: AssembledProblem, config: SolverConfig) -> HODLROperator:
     """The problem's shared operator if it matches ``config``, else a new one."""
     shared = assembled.solver_operator
@@ -185,6 +249,7 @@ def build_operator(
     config: Optional[SolverConfig] = None,
     *,
     tuning: Optional[str] = None,
+    cache: CacheLike = None,
     **problem_params: Any,
 ) -> HODLROperator:
     """Assemble ``problem`` and wrap it as a lazy :class:`HODLROperator`.
@@ -194,10 +259,15 @@ def build_operator(
     away on every matvec/solve.  ``tuning="auto"`` derives the dispatch
     (and budgeted precision) policies from the host's calibrated machine
     profile — see :mod:`repro.backends.calibration`.
+
+    ``cache=True`` (or a process-wide :func:`repro.enable_operator_cache`)
+    reuses an already-built operator for an identical
+    ``(problem, config)`` request — see :mod:`repro.api.cache`.  Cached
+    operators are shared objects: their :class:`SolveStats` accumulate
+    across calls.
     """
-    problem, config = _resolve_problem(problem, config, problem_params, tuning)
-    assembled = assemble(problem, config)
-    return _operator_for(assembled, config)
+    _, operator, _ = _cached_build(problem, config, problem_params, tuning, cache)
+    return operator
 
 
 def solve(
@@ -207,6 +277,7 @@ def solve(
     *,
     compute_residual: Union[bool, str] = True,
     tuning: Optional[str] = None,
+    cache: CacheLike = None,
     **problem_params: Any,
 ) -> SolveResult:
     """Assemble, factorize, and solve ``problem`` under ``config``.
@@ -215,7 +286,11 @@ def solve(
     training targets, ...) when it provides one.  Both ``b`` and the
     returned solution are in the *caller's* ordering; any internal
     cluster-tree permutation (``AssembledProblem.perm``) is applied on the
-    way in and inverted on the way out.
+    way in and inverted on the way out.  ``b`` may also be an ``(n, K)``
+    block — all ``K`` right-hand sides then ride **one** compiled
+    :class:`~repro.core.factor_plan.SolvePlan` replay, so the kernel-launch
+    count is independent of ``K`` (see :func:`solve_many`, which adds
+    per-column residual reporting).
 
     ``compute_residual`` controls the reported relative residual:
     ``True`` (default) measures against the HODLR matvec — an O(N log N)
@@ -229,6 +304,13 @@ def solve(
     ``residual_budget``, derives the precision demotion depth from it);
     it is shorthand for ``config.replace(tuning="auto")``.
 
+    ``cache=True`` (or a process-wide :func:`repro.enable_operator_cache`)
+    reuses a cached factorized operator for an identical
+    ``(problem, config)`` request, skipping assembly and factorization —
+    see :mod:`repro.api.cache`.  For many related systems that differ only
+    in one kernel parameter, see :func:`repro.run_sweep`, which recycles
+    construction across the parameter axis instead.
+
     Returns a :class:`SolveResult`; the factorized operator inside it acts
     in the caller's ordering too and can be reused for more solves without
     re-assembly.
@@ -237,14 +319,14 @@ def solve(
         raise ValueError(
             f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
         )
-    problem, config = _resolve_problem(problem, config, problem_params, tuning)
-    assembled = assemble(problem, config)
+    assembled, operator, config = _cached_build(
+        problem, config, problem_params, tuning, cache
+    )
     if compute_residual == "exact" and assembled.operator is None:
         raise ValueError(
             f"problem {assembled.name!r} provides no exact operator; "
             "compute_residual='exact' is unavailable (use True for the HODLR residual)"
         )
-    operator = _operator_for(assembled, config)
     if b is None:
         b = assembled.rhs
         if b is None:
@@ -271,3 +353,79 @@ def solve(
         config=config,
         relative_residual=relres,
     )
+
+
+def solve_many(
+    problem: ProblemLike,
+    B: np.ndarray,
+    config: Optional[SolverConfig] = None,
+    *,
+    compute_residual: Union[bool, str] = True,
+    tuning: Optional[str] = None,
+    cache: CacheLike = None,
+    **problem_params: Any,
+) -> SolveResult:
+    """Solve ``problem`` against a block of ``K`` right-hand sides at once.
+
+    ``B`` must be an ``(n, K)`` array.  All ``K`` columns are driven
+    through **one** replay of the compiled
+    :class:`~repro.core.factor_plan.SolvePlan` — every batched triangular
+    solve and Schur gemm operates on the full ``(rows, K)`` panel — so the
+    kernel-launch count equals ``operator.solver.plan.launches_per_solve``
+    regardless of ``K``, and the per-RHS cost falls as the launches
+    amortize (this is the paper's batched-execution win applied across
+    right-hand sides instead of across tree nodes).
+
+    The returned :class:`SolveResult` holds the ``(n, K)`` solution block
+    in ``x``; ``column_residuals`` carries the per-column relative
+    residuals ``||b_j - A x_j|| / ||b_j||`` and ``relative_residual``
+    their maximum.  ``compute_residual`` has the same three settings as
+    :func:`solve`.  Stats: the fused call records ``num_solves += K`` with
+    the elapsed time amortized per right-hand side (see
+    :class:`~repro.core.solver.SolveStats`).
+
+    For *iterative* block solving (HODLR operator as preconditioner), see
+    :func:`repro.gmres_solve` / :func:`repro.cg_solve`, which accept the
+    same ``(n, K)`` blocks and advance all unconverged columns through a
+    single fused matvec per iteration.
+    """
+    B = np.asarray(B)
+    if B.ndim != 2:
+        raise ValueError(
+            f"solve_many expects an (n, K) right-hand-side block, got ndim={B.ndim} "
+            "(use repro.solve for a single vector)"
+        )
+    if compute_residual not in (True, False, "exact"):
+        raise ValueError(
+            f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
+        )
+    result = solve(
+        problem,
+        B,
+        config,
+        compute_residual=False,
+        tuning=tuning,
+        cache=cache,
+        **problem_params,
+    )
+    if not compute_residual:
+        return result
+    assembled, operator, x = result.problem, result.operator, result.x
+    if compute_residual == "exact":
+        if assembled.operator is None:
+            raise ValueError(
+                f"problem {assembled.name!r} provides no exact operator; "
+                "compute_residual='exact' is unavailable (use True for the HODLR residual)"
+            )
+        R = B - np.asarray(assembled.operator(x))
+    else:
+        R = B - (operator @ x)
+    norms = np.linalg.norm(B, axis=0)
+    resids = np.linalg.norm(R, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    column_residuals = resids / safe
+    relres = float(column_residuals.max()) if column_residuals.size else 0.0
+    operator.solver.stats.relative_residual = relres
+    result.column_residuals = column_residuals
+    result.relative_residual = relres
+    return result

@@ -258,6 +258,14 @@ class HODLROperator(LinearOperator):
     def solve(self, b: np.ndarray, compute_residual: bool = False) -> np.ndarray:
         """Solve ``A x = b`` (multiple right-hand sides allowed).
 
+        A two-dimensional ``b`` of shape ``(n, K)`` is solved *fused*: the
+        whole block rides through one :class:`~repro.core.factor_plan.
+        SolvePlan` replay, so the kernel-launch count is that of a single
+        solve (``launches_per_solve``) regardless of ``K`` and
+        :class:`~repro.core.solver.SolveStats` records ``K`` amortized
+        right-hand sides.  This is what :func:`repro.solve_many` and the
+        block-Krylov drivers in :mod:`repro.api.krylov` build on.
+
         ``b`` and the returned solution are in the caller's ordering (the
         ``perm`` conjugation is applied internally).  If the dtype of ``b``
         requires a different factorization dtype (e.g. complex rhs on a
@@ -305,7 +313,10 @@ class HODLROperator(LinearOperator):
         if refine:
             x = self._refine_once(x, b, wide_dtype, target)
             # the direct solve + correction solve are one user-visible solve
-            stats.num_solves = solves_before + 1
+            # per right-hand side (K for a fused block)
+            nrhs = int(b_t.shape[1]) if b_t.ndim == 2 else 1
+            stats.num_solves = solves_before + nrhs
+            stats.last_batch_size = nrhs
             stats.last_solve_seconds = stats.solve_seconds - seconds_before
             if compute_residual:
                 # the refined residual, at the wide dtype against the

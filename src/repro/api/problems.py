@@ -20,6 +20,10 @@ Registered names
 ``gp_covariance``
     Matern covariance of a 1-D GP regression, with training targets as the
     natural right-hand side (marginal-likelihood workloads).
+``helmholtz_kernel``
+    Oscillatory Helmholtz point-source kernel matrix (complex) over a
+    random 2-D cloud — the frequency-sweep workload for
+    :func:`repro.run_sweep`.
 ``rpy_mobility``
     RPY mobility matrix of a random particle suspension (Table III).
 ``laplace_bie``
@@ -51,7 +55,7 @@ from ..elliptic.poisson import poisson_manufactured_solution
 from ..elliptic.schur import SchurComplementSolver
 from ..kernels.kernel_matrix import KernelMatrix
 from ..kernels.points import uniform_points
-from ..kernels.radial import GaussianKernel, MaternKernel
+from ..kernels.radial import GaussianKernel, HelmholtzKernel2D, MaternKernel
 from ..kernels.rpy import RPYKernel
 from .config import CompressionConfig, ConfigError, SolverConfig
 from .operator import HODLROperator
@@ -130,15 +134,19 @@ class GaussianKernelProblem:
     name = "gaussian_kernel"
     #: rook compression at direct-solver accuracy (the quickstart defaults)
     default_config: ClassVar[SolverConfig] = SolverConfig()
+    #: fields that only change the kernel profile (not the geometry), so a
+    #: :func:`repro.run_sweep` over them recycles construction
+    sweep_params: ClassVar[tuple] = ("lengthscale", "diagonal_shift")
+
+    def kernel_spec(self):
+        """``(kernel, diagonal_shift)`` — must match :meth:`assemble`."""
+        return GaussianKernel(lengthscale=self.lengthscale), self.diagonal_shift
 
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         rng = np.random.default_rng(self.seed)
         points = rng.uniform(-1.0, 1.0, size=(self.n, self.dim))
-        km = KernelMatrix(
-            kernel=GaussianKernel(lengthscale=self.lengthscale),
-            points=points,
-            diagonal_shift=self.diagonal_shift,
-        )
+        kernel, shift = self.kernel_spec()
+        km = KernelMatrix(kernel=kernel, points=points, diagonal_shift=shift)
         rhs = rng.standard_normal(self.n)
         return _kernel_assembled(
             self.name, km, config, rhs, reorder=True,
@@ -168,24 +176,81 @@ class GPCovarianceProblem:
     default_config: ClassVar[SolverConfig] = SolverConfig(
         compression=CompressionConfig(tol=1e-8)
     )
+    #: hyper-parameter search sweeps these without touching the geometry
+    sweep_params: ClassVar[tuple] = ("lengthscale", "nu", "noise_std")
 
     @staticmethod
     def true_function(x: np.ndarray) -> np.ndarray:
         return np.sin(6.0 * x) + 0.5 * np.cos(17.0 * x) * x
 
+    def kernel_spec(self):
+        """``(kernel, diagonal_shift)`` — must match :meth:`assemble`."""
+        return (
+            MaternKernel(lengthscale=self.lengthscale, nu=self.nu),
+            self.noise_std**2,
+        )
+
     def assemble(self, config: SolverConfig) -> AssembledProblem:
         rng = np.random.default_rng(self.seed)
         x_train = np.sort(rng.uniform(0.0, 1.0, self.n))
         y_train = self.true_function(x_train) + self.noise_std * rng.standard_normal(self.n)
-        km = KernelMatrix(
-            kernel=MaternKernel(lengthscale=self.lengthscale, nu=self.nu),
-            points=x_train,
-            diagonal_shift=self.noise_std**2,
-        )
+        kernel, shift = self.kernel_spec()
+        km = KernelMatrix(kernel=kernel, points=x_train, diagonal_shift=shift)
         # sorted 1-D points already follow a space-filling order
         return _kernel_assembled(
             self.name, km, config, y_train, reorder=False,
             metadata={"x_train": x_train, "y_train": y_train, "noise_std": self.noise_std},
+        )
+
+
+@register_problem("helmholtz_kernel")
+@dataclass
+class HelmholtzKernelProblem:
+    """Oscillatory Helmholtz point-source kernel matrix over a point cloud.
+
+    ``K[i, j] = exp(i kappa r_ij) / sqrt(r_ij)`` plus a diagonal shift —
+    the complex, frequency-dependent analogue of the Gaussian quickstart
+    problem.  Because only the kernel *profile* depends on ``kappa``, this
+    is the canonical frequency-sweep workload for :func:`repro.run_sweep`:
+    the point geometry, cluster tree, and cached distances are shared
+    across frequencies.  The diagonal shift defaults to ``2 n`` (scaling
+    with the row sums of the ``1/sqrt(r)`` envelope) so the system stays
+    well-conditioned across the sweep.
+    """
+
+    n: int = 2048
+    kappa: float = 20.0
+    dim: int = 2
+    #: None = automatic ``2 n`` scaling
+    diagonal_shift: Optional[float] = None
+    seed: int = 0
+
+    name = "helmholtz_kernel"
+    #: randomized compression: the oscillatory blocks are what the
+    #: Gaussian-test-matrix machinery is for, and sweeps reuse those
+    #: test matrices across frequencies
+    default_config: ClassVar[SolverConfig] = SolverConfig(
+        compression=CompressionConfig(tol=1e-6, method="randomized")
+    )
+    #: frequency (and shift) sweeps recycle construction
+    sweep_params: ClassVar[tuple] = ("kappa", "diagonal_shift")
+
+    def _shift(self) -> float:
+        return 2.0 * self.n if self.diagonal_shift is None else self.diagonal_shift
+
+    def kernel_spec(self):
+        """``(kernel, diagonal_shift)`` — must match :meth:`assemble`."""
+        return HelmholtzKernel2D(kappa=self.kappa), self._shift()
+
+    def assemble(self, config: SolverConfig) -> AssembledProblem:
+        rng = np.random.default_rng(self.seed)
+        points = rng.uniform(-1.0, 1.0, size=(self.n, self.dim))
+        kernel, shift = self.kernel_spec()
+        km = KernelMatrix(kernel=kernel, points=points, diagonal_shift=shift)
+        rhs = rng.standard_normal(self.n) + 1j * rng.standard_normal(self.n)
+        return _kernel_assembled(
+            self.name, km, config, rhs, reorder=True,
+            metadata={"points": points, "kappa": self.kappa},
         )
 
 

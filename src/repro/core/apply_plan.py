@@ -43,28 +43,33 @@ rebuild after mutating the HODLR blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..backends.batched import gemm_strided_batched
 from ..backends.context import ExecutionContext, resolve_context
 from ..backends.dispatch import ArrayBackend, plan_batch
-from .packing import demote_rhs_dtype, pack_stack
+from .packing import GatherScatter, demote_rhs_dtype, pack_stack
 
 
 @dataclass
 class _DiagBucket:
     """Leaf diagonal blocks of one common size, packed for batched gemm."""
 
-    #: (nb, m) row indices of each block (gather and scatter positions)
-    idx: np.ndarray
+    #: precomputed (nb, m) row gather/scatter of each block
+    gs: GatherScatter
     #: (nb, m, m) stacked diagonal blocks (possibly precision-demoted)
     D3: np.ndarray
 
     @property
+    def idx(self) -> np.ndarray:
+        """(nb, m) row indices of each block (gather and scatter positions)."""
+        return self.gs.idx
+
+    @property
     def nbytes(self) -> int:
-        return int(self.idx.nbytes + self.D3.nbytes)
+        return int(self.gs.nbytes + self.D3.nbytes)
 
 
 @dataclass
@@ -72,19 +77,29 @@ class _LowRankBucket:
     """Off-diagonal blocks of one level sharing ``(rows, cols, rank)``."""
 
     level: int
-    #: (nb, m) output row indices — disjoint across the bucket (one level)
-    row_idx: np.ndarray
-    #: (nb, n) input row indices
-    col_idx: np.ndarray
+    #: precomputed output-row scatter — disjoint across the bucket (one level)
+    row_gs: GatherScatter
+    #: precomputed input-row gather
+    col_gs: GatherScatter
     #: (nb, m, r) stacked left bases (possibly precision-demoted)
     U3: np.ndarray
     #: (nb, r, n) stacked conjugate-transposed right bases (``V^*``)
     Vh3: np.ndarray
 
     @property
+    def row_idx(self) -> np.ndarray:
+        """(nb, m) output row indices of each block."""
+        return self.row_gs.idx
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        """(nb, n) input row indices of each block."""
+        return self.col_gs.idx
+
+    @property
     def nbytes(self) -> int:
         return int(
-            self.row_idx.nbytes + self.col_idx.nbytes + self.U3.nbytes + self.Vh3.nbytes
+            self.row_gs.nbytes + self.col_gs.nbytes + self.U3.nbytes + self.Vh3.nbytes
         )
 
 
@@ -119,7 +134,9 @@ class ApplyPlan:
             members = [leaves[i] for i in bucket.indices]
             self.diag_buckets.append(
                 _DiagBucket(
-                    idx=np.stack([leaf.indices for leaf in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                    gs=GatherScatter(
+                        np.stack([leaf.indices for leaf in members])  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                    ),
                     D3=_pack([hodlr.diag[leaf.index] for leaf in members], tree.levels),
                 )
             )
@@ -139,8 +156,12 @@ class ApplyPlan:
                 self.lowrank_buckets.append(
                     _LowRankBucket(
                         level=level,
-                        row_idx=np.stack([rn.indices for rn, _, _, _ in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
-                        col_idx=np.stack([cn.indices for _, cn, _, _ in members]),  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                        row_gs=GatherScatter(
+                            np.stack([rn.indices for rn, _, _, _ in members])  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                        ),
+                        col_gs=GatherScatter(
+                            np.stack([cn.indices for _, cn, _, _ in members])  # repro-lint: ignore[RL001] -- gather-index metadata: host integer row maps by design
+                        ),
                         U3=_pack([Ub for _, _, Ub, _ in members], level),
                         Vh3=_pack([Vb.conj().T for _, _, _, Vb in members], level),
                     )
@@ -150,6 +171,36 @@ class ApplyPlan:
         self.demoted: bool = any(
             b.D3.dtype != self.dtype for b in self.diag_buckets
         ) or any(b.U3.dtype != self.dtype for b in self.lowrank_buckets)
+
+        #: per input dtype: (out, accumulate, per-diag-bucket, per-lowrank-
+        #: bucket) dtypes — resolved once instead of on every application
+        self._cast_plans: Dict[
+            np.dtype, Tuple[np.dtype, np.dtype, Tuple[np.dtype, ...], Tuple[np.dtype, ...]]
+        ] = {}
+
+    def _cast_plan(
+        self, x_dtype: np.dtype
+    ) -> Tuple[np.dtype, np.dtype, Tuple[np.dtype, ...], Tuple[np.dtype, ...]]:
+        """The dtype schedule of one application, cached per input dtype."""
+        plan = self._cast_plans.get(x_dtype)
+        if plan is None:
+            out_dtype = np.result_type(self.dtype, x_dtype)
+            acc_dtype = out_dtype
+            if self.demoted:
+                acc_dtype = np.result_type(
+                    out_dtype, self._context.precision.accumulate_dtype(out_dtype)
+                )
+            diag = tuple(
+                np.result_type(db.D3.dtype, demote_rhs_dtype(db.D3.dtype, x_dtype))
+                for db in self.diag_buckets
+            )
+            lowrank = tuple(
+                np.result_type(lb.Vh3.dtype, demote_rhs_dtype(lb.Vh3.dtype, x_dtype))
+                for lb in self.lowrank_buckets
+            )
+            plan = (out_dtype, acc_dtype, diag, lowrank)
+            self._cast_plans[x_dtype] = plan
+        return plan
 
     # ------------------------------------------------------------------
     # application
@@ -165,37 +216,37 @@ class ApplyPlan:
         """
         xb = self._context.backend
         x = xb.asarray(x)
+        if x.ndim > 2:
+            raise ValueError(
+                f"operand must be a vector or a (n, K) block, got ndim={x.ndim}"
+            )
         squeeze = x.ndim == 1
         X = x.reshape(-1, 1) if squeeze else x
         if X.shape[0] != self.n:
             raise ValueError(f"dimension mismatch: matrix is {self.n}, vector is {X.shape[0]}")
-        out_dtype = np.result_type(self.dtype, X.dtype)
-        acc_dtype = out_dtype
-        if self.demoted:
-            acc_dtype = np.result_type(
-                out_dtype, self._context.precision.accumulate_dtype(out_dtype)
-            )
+        out_dtype, acc_dtype, diag_dtypes, lowrank_dtypes = self._cast_plan(
+            np.dtype(X.dtype)
+        )
         y = xb.zeros((self.n, X.shape[1]), dtype=acc_dtype)
 
         # the right-hand side cast to each demoted bucket dtype, computed once
         casts = {np.dtype(X.dtype): X}
 
-        def _cast(dtype):
-            dt = np.dtype(dtype)
+        def _cast(dt):
             if dt not in casts:
                 casts[dt] = X.astype(dt)
             return casts[dt]
 
-        for db in self.diag_buckets:
-            # row indices are disjoint within a bucket, so the fancy-indexed
-            # in-place add scatters without collisions
-            Xb = _cast(np.result_type(db.D3.dtype, demote_rhs_dtype(db.D3.dtype, X.dtype)))
-            y[db.idx] += gemm_strided_batched(db.D3, Xb[db.idx], backend=xb, plan=True)
+        for db, dt in zip(self.diag_buckets, diag_dtypes):
+            # row indices are disjoint within a bucket, so the precomputed
+            # scatter-add writes without collisions
+            Xb = _cast(dt)
+            db.gs.add(y, gemm_strided_batched(db.D3, db.gs.take(Xb), backend=xb, plan=True))
 
-        for lb in self.lowrank_buckets:
-            Xb = _cast(np.result_type(lb.Vh3.dtype, demote_rhs_dtype(lb.Vh3.dtype, X.dtype)))
-            T = gemm_strided_batched(lb.Vh3, Xb[lb.col_idx], backend=xb, plan=True)
-            y[lb.row_idx] += gemm_strided_batched(lb.U3, T, backend=xb, plan=True)
+        for lb, dt in zip(self.lowrank_buckets, lowrank_dtypes):
+            Xb = _cast(dt)
+            T = gemm_strided_batched(lb.Vh3, lb.col_gs.take(Xb), backend=xb, plan=True)
+            lb.row_gs.add(y, gemm_strided_batched(lb.U3, T, backend=xb, plan=True))
 
         if y.dtype != out_dtype:
             y = y.astype(out_dtype)

@@ -440,11 +440,20 @@ class SolvePlan:
         return self.plan.nbytes
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` (``b`` may hold multiple right-hand sides)."""
+        """Solve ``A x = b`` (``b`` may hold multiple right-hand sides).
+
+        A ``(n, K)`` block replays the same packed bucket schedule as a
+        single vector — every getrs/gemm launch simply carries ``K``
+        columns, so the launch count is independent of ``K``.
+        """
         plan = self.plan
         ctx = plan.context
         xb, pol = ctx.backend, ctx.policy
         b = xb.asarray(b)
+        if b.ndim > 2:
+            raise ValueError(
+                f"right-hand side must be a vector or a (n, K) block, got ndim={b.ndim}"
+            )
         if b.shape[0] != plan.n:
             raise ValueError(
                 f"right-hand side has {b.shape[0]} rows, expected {plan.n}"

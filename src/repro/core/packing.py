@@ -127,6 +127,13 @@ class GatherScatter:
         else:
             x[self._flat_idx] -= vals[self.mask]
 
+    def add(self, x: np.ndarray, vals: np.ndarray) -> None:
+        """``x[rows] += vals`` (member rows are disjoint, so no collisions)."""
+        if self.mask is None:
+            x[self.idx] += vals
+        else:
+            x[self._flat_idx] += vals[self.mask]
+
     @property
     def nbytes(self) -> int:
         total = self.idx.nbytes

@@ -23,6 +23,7 @@ from ..backends.context import ExecutionContext
 from ..core.cluster_tree import ClusterTree
 from ..core.compression import CompressionConfig
 from ..core.hodlr import HODLRMatrix, build_hodlr
+from .radial import pairwise_distances
 
 KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -159,6 +160,54 @@ class KernelMatrix:
 
     def dense(self) -> np.ndarray:
         return self.entries(np.arange(self.n), np.arange(self.n))
+
+    # ------------------------------------------------------------------
+    # construction-recycling hooks (see repro.api.sweep)
+    # ------------------------------------------------------------------
+    def distances(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """The ``(m, n)`` pairwise-distance block for index sets.
+
+        Geometry only — independent of the bound kernel, so a parameter
+        sweep computes these once and replays each parameter's radial
+        ``profile`` on the cached result (see :mod:`repro.api.sweep`).
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        return pairwise_distances(self.points[rows], self.points[cols])
+
+    def distance_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """The ``(B, m, n)`` distance stack for stacked index blocks.
+
+        The batched sibling of :meth:`distances`: ``rows`` is ``(B, m)``
+        and ``cols`` is ``(B, n)``, gathered once for the whole stack like
+        :meth:`entries_blocks` — the gather half of a level-major kernel
+        evaluation, with the profile left to the caller.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.ndim != 2 or cols.ndim != 2 or rows.shape[0] != cols.shape[0]:
+            raise ValueError(
+                f"distance_blocks expects (B, m) rows and (B, n) cols, got "
+                f"{rows.shape} and {cols.shape}"
+            )
+        return pairwise_distances(self.points[rows], self.points[cols])
+
+    def with_kernel(
+        self, kernel: KernelFn, diagonal_shift: Optional[float] = None
+    ) -> "KernelMatrix":
+        """A sibling matrix over the *same points* with a new kernel.
+
+        The points array is shared (no copy), so a sweep builds one
+        :class:`KernelMatrix` per parameter value without duplicating the
+        geometry.  ``diagonal_shift`` defaults to this matrix's shift.
+        """
+        return KernelMatrix(
+            kernel=kernel,
+            points=self.points,
+            diagonal_shift=self.diagonal_shift
+            if diagonal_shift is None
+            else diagonal_shift,
+        )
 
     def matvec(self, x: np.ndarray, block_size: int = 2048) -> np.ndarray:
         """``K @ x`` evaluated in row blocks of ``block_size`` (O(N) memory)."""

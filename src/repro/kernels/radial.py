@@ -8,6 +8,14 @@ kernel_matrix.KernelMatrix`:
 ``__call__(X, Y) -> ndarray``
     evaluate the kernel between two point sets, shape ``(len(X), len(Y))``.
 
+``profile(d) -> ndarray``
+    apply the *radial profile* to an already-computed distance array of any
+    shape, such that ``kernel(X, Y) == kernel.profile(pairwise_distances(X,
+    Y))`` exactly (nugget included).  This factorization is what lets the
+    parameter-sweep engine (:mod:`repro.api.sweep`) cache the geometry —
+    the distance matrices — once and re-run only the cheap profile when a
+    kernel parameter (lengthscale, wavenumber) changes.
+
 All kernels broadcast over point blocks with vectorised NumPy (no Python
 loops over pairs), which is what keeps HODLR construction fast.
 """
@@ -67,12 +75,14 @@ class GaussianKernel:
     lengthscale: float = 1.0
     nugget: float = 0.0
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        d = pairwise_distances(X, Y)
+    def profile(self, d: np.ndarray) -> np.ndarray:
         K = np.exp(-0.5 * (d / self.lengthscale) ** 2)
         if self.nugget:
             K = K + self.nugget * (d == 0.0)
         return K
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
 
 
 @dataclass
@@ -82,12 +92,14 @@ class ExponentialKernel:
     lengthscale: float = 1.0
     nugget: float = 0.0
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        d = pairwise_distances(X, Y)
+    def profile(self, d: np.ndarray) -> np.ndarray:
         K = np.exp(-d / self.lengthscale)
         if self.nugget:
             K = K + self.nugget * (d == 0.0)
         return K
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
 
 
 @dataclass
@@ -102,8 +114,7 @@ class MaternKernel:
     nu: float = 1.5
     nugget: float = 0.0
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        d = pairwise_distances(X, Y)
+    def profile(self, d: np.ndarray) -> np.ndarray:
         r = d / self.lengthscale
         if np.isclose(self.nu, 0.5):
             K = np.exp(-r)
@@ -126,6 +137,9 @@ class MaternKernel:
             K = K + self.nugget * (d == 0.0)
         return K
 
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
+
 
 @dataclass
 class InverseMultiquadricKernel:
@@ -133,18 +147,52 @@ class InverseMultiquadricKernel:
 
     c: float = 1.0
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        d = pairwise_distances(X, Y)
+    def profile(self, d: np.ndarray) -> np.ndarray:
         return 1.0 / np.sqrt(d * d + self.c * self.c)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
 
 
 @dataclass
 class ThinPlateSplineKernel:
     """``K(x, y) = r^2 log(r)`` with ``K(x, x) = 0`` (2-D RBF interpolation)."""
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        d = pairwise_distances(X, Y)
+    def profile(self, d: np.ndarray) -> np.ndarray:
         out = np.zeros_like(d)
         nz = d > 0
         out[nz] = d[nz] ** 2 * np.log(d[nz])
         return out
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
+
+
+@dataclass
+class HelmholtzKernel2D:
+    """Oscillatory point-source kernel ``K(x, y) = exp(i kappa r) / sqrt(r)``.
+
+    A free-space-style Helmholtz interaction at wavenumber ``kappa`` (the
+    ``1/sqrt(r)`` envelope is the large-argument decay of the 2-D Green's
+    function ``(i/4) H_0^(1)(kappa r)``; the phase carries the oscillation
+    that makes off-diagonal ranks grow with ``kappa``).  ``K(x, x) = 0`` —
+    pair it with a ``diagonal_shift`` on the
+    :class:`~repro.kernels.kernel_matrix.KernelMatrix` for invertibility.
+
+    Because only the *profile* depends on ``kappa`` while the distance
+    geometry is fixed, a frequency sweep over this kernel is the canonical
+    :func:`repro.run_sweep` workload: distances are computed once and each
+    frequency re-runs just this complex exponential.
+    """
+
+    kappa: float = 1.0
+
+    def profile(self, d: np.ndarray) -> np.ndarray:
+        out = np.zeros(d.shape, dtype=complex)
+        nz = d > 0
+        dn = d[nz]
+        out[nz] = np.exp(1j * self.kappa * dn) / np.sqrt(dn)
+        return out
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return self.profile(pairwise_distances(X, Y))
