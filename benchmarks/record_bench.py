@@ -1,4 +1,4 @@
-"""Record the repo's measured perf trajectory: ``BENCH_pr8.json``.
+"""Record the repo's measured perf trajectory: ``BENCH_pr9.json``.
 
 Times the hot paths of the batched pipeline — HODLR **construction**, the
 **matvec/GMRES apply loop**, the **end-to-end solve**, the **compiled
@@ -11,7 +11,16 @@ solve** (one compiled-plan replay for a whole ``(n, K)`` block vs K
 sequential plan solves through the same factorization) and the
 **parameter sweep** (``repro.run_sweep`` recycling the cluster tree,
 skeletons, and cached distance blocks across a 16-point Helmholtz
-frequency sweep vs 16 independent ``repro.solve`` calls).
+frequency sweep vs 16 independent ``repro.solve`` calls) — and, new in
+PR 9, the **parallel execution engine** rows: the end-to-end solve and
+an all-independent-steps sweep under the thread-pooled engine
+(:mod:`repro.backends.parallel`) vs the bit-identical serial path.
+Correctness gates the parallel rows on *every* host (solutions to 1e-12
+and literally identical launch/flop counters — the schedule is recorded
+analytically on the dispatching thread, so it is a deterministic fact
+independent of worker count); the speedup floors only apply on hosts
+with >= 4 cores, so single-core CI records the pool's overhead honestly
+instead of flaking.
 
 Besides the wall-clock rows the run records a ``counters`` section:
 deterministic kernel-trace counters (launch counts, flops, plan storage
@@ -26,7 +35,7 @@ the wall-clock rows stay informational.
 
 Usage::
 
-    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr8.json
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr9.json
     python benchmarks/record_bench.py --smoke         # CI perf-gate sizes
     python benchmarks/record_bench.py --output out.json
 
@@ -34,9 +43,11 @@ The full run reproduces the acceptance numbers: >= 1.5x on repeated
 solves and the GMRES-preconditioner apply at N=16384 (PR 5), the
 auto-tuned solve identical to the default-policy solve to 1e-12 at
 N=16384 (PR 6), a fused K=32 block solve >= 4x faster than 32 sequential
-plan solves at N=16384 with identical solutions to 1e-12 (PR 8), and the
+plan solves at N=16384 with identical solutions to 1e-12 (PR 8), the
 16-point Helmholtz sweep >= 2x faster than independent re-builds at equal
-residual (PR 8).  Both the full and smoke runs also *assert the plan path
+residual (PR 8), and — on a host with >= 4 cores — the thread-pooled
+end-to-end solve >= 1.5x at N=16384 and the 8-step all-independent sweep
+>= 2x (PR 9).  Both the full and smoke runs also *assert the plan path
 is actually taken* via the kernel trace (``num_plan_launches ==
 launches_per_solve``, for block right-hand sides independent of K), so a
 regression to per-solve re-bucketing fails the job loudly.
@@ -58,7 +69,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import repro  # noqa: E402
 from repro import HODLROperator, HODLRSolver, PrecisionPolicy  # noqa: E402
 from repro.api import CompressionConfig, SolverConfig  # noqa: E402
-from repro.backends import get_recorder  # noqa: E402
+from repro.backends import ExecutionContext, get_recorder  # noqa: E402
+from repro.backends.parallel import (  # noqa: E402
+    pool_stats,
+    reset_pool_stats,
+    shutdown_pool,
+)
 from repro.kernels import GaussianKernel, KernelMatrix  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
@@ -318,6 +334,115 @@ def bench_param_sweep(n, points=16, min_speedup=None):
     return row
 
 
+def _forced_parallel():
+    """Explicit pool spec for the PR-9 rows: deterministic engagement.
+
+    ``"auto"`` resolves to serial on a single-core host (and to whatever
+    the calibrated profile says elsewhere), which would change the *shape*
+    of the recorded row per host, not just its magnitude — so the bench
+    pins an explicit worker count (explicit ints are honoured as given,
+    never clamped to the core count) and zeroes the per-task element
+    floor, guaranteeing the pool actually executes on any machine.
+    """
+    workers = max(2, min(8, os.cpu_count() or 1))
+    return {"workers": workers, "min_tasks": 2, "min_task_elements": 0}
+
+
+def bench_parallel_solve(n, tol=1e-8, min_speedup=None):
+    """The PR-9 acceptance row: end-to-end ``repro.solve`` (construction +
+    factorization + solve) under the thread-pooled execution engine vs the
+    serial path (``parallel="off"``, which must never touch the pool).
+
+    Correctness is the hard gate on every host: solutions identical to
+    1e-12 and literally equal kernel-launch/flop counts — the batched
+    wrappers account traces analytically on the dispatching thread after
+    each bucket loop, so the schedule cannot depend on worker count.  The
+    wall-clock floor (``min_speedup``) is only passed on >= 4-core hosts.
+    """
+    cfg = SolverConfig(compression=CompressionConfig(tol=tol, method="randomized"))
+    rec = get_recorder()
+
+    def run(parallel):
+        shutdown_pool()
+        reset_pool_stats()
+        with rec.recording() as tr:
+            res = repro.solve("gaussian_kernel", config=cfg, n=n, parallel=parallel)
+        return res, tr
+
+    ts, (res_s, tr_s) = _timed(lambda: run("off"))
+    assert pool_stats().submissions == 0, "parallel='off' touched the pool"
+    tp, (res_p, tr_p) = _timed(lambda: run(_forced_parallel()))
+    subs = pool_stats().submissions
+    assert subs > 0, "forced-parallel solve never engaged the pool"
+    shutdown_pool()
+    rel = float(
+        np.linalg.norm(res_p.x - res_s.x) / max(np.linalg.norm(res_s.x), 1e-300)
+    )
+    row = _row("parallel_solve", tp, ts, fast_label="parallel",
+               slow_label="serial", n=n, agreement=rel, pool_submissions=subs,
+               launches=tr_s.num_kernel_launches)
+    assert rel < 1e-12, f"parallel and serial solves disagree: {rel}"
+    assert tr_p.num_kernel_launches == tr_s.num_kernel_launches, (
+        f"parallel execution changed the schedule: "
+        f"{tr_p.num_kernel_launches} launches vs {tr_s.num_kernel_launches}"
+    )
+    assert tr_p.total_flops == tr_s.total_flops, (
+        "parallel execution changed the flop total"
+    )
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"parallel solve speedup {row['speedup']} below {min_speedup}x"
+        )
+    return row
+
+
+def bench_parallel_sweep(n, points=8, min_speedup=None):
+    """The PR-9 sweep row: a ``points``-step sweep whose every override
+    touches a non-recyclable key (``n``), so each step is an independent
+    full solve — exactly the shape ``run_sweep(parallel=)`` fans out over
+    the shared pool — vs the same sweep with ``parallel="off"``.
+
+    Step-for-step the two sweeps must agree to 1e-12; the >= 2x floor is
+    only passed on >= 4-core hosts.
+    """
+    overrides = [{"n": n, "kappa": 10.0 + 0.5 * i} for i in range(points)]
+
+    def run(parallel):
+        shutdown_pool()
+        reset_pool_stats()
+        return repro.run_sweep("helmholtz_kernel", overrides, n=n, parallel=parallel)
+
+    ts, sweep_s = _timed(lambda: run("off"))
+    assert pool_stats().submissions == 0, "parallel='off' touched the pool"
+    tp, sweep_p = _timed(lambda: run(_forced_parallel()))
+    subs = pool_stats().submissions
+    assert subs >= points, (
+        f"expected >= {points} pool submissions for {points} independent "
+        f"steps, saw {subs}"
+    )
+    shutdown_pool()
+    assert not any(s.recycled for s in sweep_p.steps), (
+        "overrides were meant to force independent full-solve steps"
+    )
+    worst = 0.0
+    for step_s, step_p in zip(sweep_s.steps, sweep_p.steps):
+        assert step_s.params == step_p.params, "sweep step order drifted"
+        rel = float(
+            np.linalg.norm(step_p.x - step_s.x)
+            / max(np.linalg.norm(step_s.x), 1e-300)
+        )
+        worst = max(worst, rel)
+    row = _row(f"parallel_sweep_{points}pt", tp, ts, fast_label="parallel",
+               slow_label="serial", n=n, points=points, agreement=worst,
+               pool_submissions=subs)
+    assert worst < 1e-12, f"parallel and serial sweeps disagree: {worst}"
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"parallel sweep speedup {row['speedup']} below {min_speedup}x"
+        )
+    return row
+
+
 def bench_variant_equivalence(n, tol=1e-10):
     """All three variants through the shared FactorPlan, identical to 1e-12."""
     km = _gaussian_km(n)
@@ -442,7 +567,9 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
     full runs, and every value below is a launch count, flop total, or
     plan byte count — not a wall-clock — so the committed numbers are
     reproducible across hosts up to BLAS-rounding rank wobble (covered by
-    the gate's tolerances).
+    the gate's tolerances).  PR 9 re-runs the factorization and plan
+    solve under the forced thread pool and records their launch/flop
+    keys, asserted equal to the serial ones.
     """
     km = _gaussian_km(n)
     rec = get_recorder()
@@ -469,6 +596,44 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
         f"expected {plan.launches_per_solve}"
     )
     apply_plan = H.build_apply_plan(force=True)
+    # PR 9: the same probe — construction, factorization, plan solve —
+    # under the *forced* thread pool must schedule exactly the same
+    # kernels: launches and flops are analytic per-bucket facts recorded
+    # on the dispatching thread, so the parallel keys below equal their
+    # serial counterparts and the gate diffs both.  (The probe's
+    # power-of-two tree makes each factor level a single uniform shape
+    # bucket, which correctly stays inline — the pool engagement comes
+    # from construction's pipelined gather and chunked bucket kernels.)
+    shutdown_pool()
+    reset_pool_stats()
+    ctx_par = ExecutionContext(parallel=dict(_forced_parallel(), min_tasks=1))
+    with rec.recording() as tr_pcon:
+        H_par, _ = km.to_hodlr(leaf_size=leaf_size, tol=tol, method="svd",
+                               construction="batched", context=ctx_par)
+    with rec.recording() as tr_pfac:
+        solver_par = HODLRSolver(
+            H_par, variant="batched", context=ctx_par
+        ).factorize()
+    solver_par.solve(b)  # warm: attach plan state outside the recording
+    with rec.recording() as tr_psol:
+        solver_par.solve(b)
+    assert pool_stats().submissions > 0, "forced-parallel probe never used the pool"
+    shutdown_pool()
+    assert tr_pcon.num_kernel_launches == tr_con.num_kernel_launches, (
+        "parallel construction changed the launch schedule"
+    )
+    assert tr_pcon.total_flops == tr_con.total_flops, (
+        "parallel construction changed the flop total"
+    )
+    assert tr_pfac.num_kernel_launches == tr_fac.num_kernel_launches, (
+        "parallel factorization changed the launch schedule"
+    )
+    assert tr_pfac.total_flops == tr_fac.total_flops, (
+        "parallel factorization changed the flop total"
+    )
+    assert tr_psol.num_plan_launches == tr_sol.num_plan_launches, (
+        "parallel plan solve changed the launch schedule"
+    )
     counters = {
         "n": n,
         "construction_launches": tr_con.num_kernel_launches,
@@ -482,6 +647,10 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
         "factor_plan_bytes": int(solver.factor_plan.nbytes),
         "apply_plan_bytes": int(apply_plan.nbytes),
         "apply_launches_per_matvec": apply_plan.launches_per_apply,
+        "parallel_construction_launches": tr_pcon.num_kernel_launches,
+        "parallel_factor_launches": tr_pfac.num_kernel_launches,
+        "parallel_factor_flops": tr_pfac.total_flops,
+        "parallel_solve_plan_launches": tr_psol.num_plan_launches,
     }
     counters.update(collect_cache_counters())
     print(f"  {'counters_probe':<38s} n={n}  launches/solve "
@@ -546,7 +715,7 @@ def main(argv=None):
     ap.add_argument("--smoke", action="store_true",
                     help="reduced sizes for the CI perf-gate job")
     ap.add_argument("--output", default=None,
-                    help="output path (default: BENCH_pr6.json at the repo root, "
+                    help="output path (default: BENCH_pr9.json at the repo root, "
                          "BENCH_smoke.json with --smoke)")
     args = ap.parse_args(argv)
 
@@ -558,8 +727,11 @@ def main(argv=None):
     sweep_points = 4 if args.smoke else 16
     rpy_particles = 96 if args.smoke else 400
     out_path = args.output or os.path.join(
-        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr8.json"
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr9.json"
     )
+    # the PR-9 wall-clock floors only make sense with real concurrency:
+    # correctness gates always run, speedup floors need >= 4 cores
+    multicore = (os.cpu_count() or 1) >= 4
 
     print(f"recording {'smoke' if args.smoke else 'full'} benchmark "
           f"(solve N={n_solve}) ...")
@@ -589,6 +761,17 @@ def main(argv=None):
     benchmarks["helmholtz_sweep"] = bench_param_sweep(
         n_sweep, points=sweep_points, min_speedup=None if args.smoke else 2.0
     )
+    # the PR-9 acceptance rows: thread-pooled execution vs bit-identical
+    # serial — 1e-12 agreement and equal launch/flop counters gate every
+    # host; the >= 1.5x (solve) / >= 2x (8-step sweep) floors only apply
+    # on >= 4-core machines
+    benchmarks["parallel_solve"] = bench_parallel_solve(
+        n_solve, min_speedup=1.5 if (not args.smoke and multicore) else None
+    )
+    benchmarks["parallel_sweep"] = bench_parallel_sweep(
+        n_sweep, points=4 if args.smoke else 8,
+        min_speedup=2.0 if (not args.smoke and multicore) else None
+    )
     benchmarks["variant_equivalence"] = bench_variant_equivalence(n_equiv)
     benchmarks["float32_factor_solve"] = bench_factor_precision(n_equiv)
     benchmarks["gaussian_end_to_end"] = bench_end_to_end(
@@ -608,16 +791,18 @@ def main(argv=None):
 
     payload = {
         "meta": {
-            "pr": 8,
+            "pr": 9,
             "smoke": bool(args.smoke),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "description": "cross-solve reuse: fused multi-RHS block solves "
-                           "(K-independent launch counts), the operator "
-                           "cache's deterministic hit/miss/eviction script, "
-                           "and the recycled Helmholtz parameter sweep, "
-                           "alongside the PR-3..6 trajectory",
+            "cpu_count": os.cpu_count(),
+            "description": "parallel execution engine: thread-pooled solve "
+                           "and all-independent-steps sweep vs bit-identical "
+                           "serial (1e-12 agreement, equal launch/flop "
+                           "counters; speedup floors gated on >= 4 cores), "
+                           "plus forced-pool counter keys, alongside the "
+                           "PR-3..8 trajectory",
         },
         "benchmarks": benchmarks,
         "counters": counters,

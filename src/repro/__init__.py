@@ -90,6 +90,12 @@ from .backends.dispatch import (
 )
 from .backends.memory import DeviceMemoryTracker, hodlr_device_footprint, max_problem_size
 from .backends.counters import get_recorder
+from .backends.parallel import (
+    ParallelPolicy,
+    pool_stats,
+    resolve_parallel,
+    shutdown_pool,
+)
 from .backends.device import GPU_V100, CPU_XEON_6254_DUAL, PCIE3_X16, DeviceSpec
 from .backends.perfmodel import PerformanceModel
 from .backends.calibration import (
@@ -150,6 +156,7 @@ from .api import (
     run_sweep,
     solve,
     solve_many,
+    solve_portfolio,
 )
 from .api.krylov import cg_solve, gmres_solve
 
@@ -186,6 +193,7 @@ __all__ = [
     "SweepStep",
     "SweepWorkspace",
     "run_sweep",
+    "solve_portfolio",
     # core
     "ClusterTree",
     "TreeNode",
@@ -246,6 +254,10 @@ __all__ = [
     "machine_fingerprint",
     "set_active_profile",
     "use_profile",
+    "ParallelPolicy",
+    "pool_stats",
+    "resolve_parallel",
+    "shutdown_pool",
     # kernels
     "KernelMatrix",
     "GaussianKernel",

@@ -18,7 +18,10 @@ One stable front door over the whole library:
 * :class:`OperatorCache` / :func:`enable_operator_cache` — a bounded
   process-wide LRU of factorized operators (see :mod:`repro.api.cache`);
 * :func:`run_sweep` — parameter sweeps that recycle construction across
-  nearby kernel parameters (see :mod:`repro.api.sweep`).
+  nearby kernel parameters (see :mod:`repro.api.sweep`);
+* :func:`solve_portfolio` — independent solve requests fanned out over the
+  calibrated thread pool (see :mod:`repro.api.portfolio` and
+  :mod:`repro.backends.parallel`).
 
 >>> import repro
 >>> from repro.api import CompressionConfig, SolverConfig
@@ -58,6 +61,7 @@ from .cache import (
 )
 from . import problems  # noqa: F401  (registers the built-in problem adapters)
 from .facade import SolveResult, assemble, build_operator, solve, solve_many
+from .portfolio import solve_portfolio
 from .sweep import SweepResult, SweepStep, SweepWorkspace, run_sweep
 
 __all__ = [
@@ -99,4 +103,5 @@ __all__ = [
     "SweepStep",
     "SweepWorkspace",
     "run_sweep",
+    "solve_portfolio",
 ]

@@ -114,13 +114,14 @@ def _resolve_problem(
     config: Optional[Any],
     problem_params: dict,
     tuning: Optional[str] = None,
+    parallel: Optional[Any] = None,
 ) -> Tuple[Any, SolverConfig]:
     """Instantiate a named problem and settle the effective config.
 
     The problem is resolved *before* the config so that, when no config was
     passed, the problem's ``default_config`` (see
-    :func:`repro.get_problem`) applies.  An explicit ``tuning=`` argument
-    overrides the config's own ``tuning`` field.
+    :func:`repro.get_problem`) applies.  Explicit ``tuning=`` / ``parallel=``
+    arguments override the config's own fields.
     """
     if isinstance(problem, str):
         problem = get_problem(problem, **problem_params)
@@ -133,6 +134,8 @@ def _resolve_problem(
     config = _coerce_config(config, problem)
     if tuning is not None and tuning != config.tuning:
         config = config.replace(tuning=tuning)
+    if parallel is not None and parallel != config.parallel:
+        config = config.replace(parallel=parallel)
     return problem, config
 
 
@@ -197,6 +200,7 @@ def _cached_build(
     problem_params: dict,
     tuning: Optional[str],
     cache: CacheLike,
+    parallel: Optional[Any] = None,
 ) -> Tuple[AssembledProblem, HODLROperator, SolverConfig]:
     """Shared assemble+factorize path of :func:`solve`/:func:`build_operator`.
 
@@ -212,7 +216,7 @@ def _cached_build(
         if cache_obj is not None
         else None
     )
-    problem, cfg = _resolve_problem(problem, config, problem_params, tuning)
+    problem, cfg = _resolve_problem(problem, config, problem_params, tuning, parallel)
     if fp is not None:
         cached = cache_obj.get(fp, cfg)
         if cached is not None:
@@ -250,6 +254,7 @@ def build_operator(
     *,
     tuning: Optional[str] = None,
     cache: CacheLike = None,
+    parallel: Optional[Any] = None,
     **problem_params: Any,
 ) -> HODLROperator:
     """Assemble ``problem`` and wrap it as a lazy :class:`HODLROperator`.
@@ -265,8 +270,15 @@ def build_operator(
     ``(problem, config)`` request — see :mod:`repro.api.cache`.  Cached
     operators are shared objects: their :class:`SolveStats` accumulate
     across calls.
+
+    ``parallel=`` overrides the config's thread-pool execution spec
+    (``"off"``, ``"auto"``, a worker count, or a
+    :class:`~repro.backends.parallel.ParallelPolicy`) — see
+    :mod:`repro.backends.parallel`.
     """
-    _, operator, _ = _cached_build(problem, config, problem_params, tuning, cache)
+    _, operator, _ = _cached_build(
+        problem, config, problem_params, tuning, cache, parallel
+    )
     return operator
 
 
@@ -278,6 +290,7 @@ def solve(
     compute_residual: Union[bool, str] = True,
     tuning: Optional[str] = None,
     cache: CacheLike = None,
+    parallel: Optional[Any] = None,
     **problem_params: Any,
 ) -> SolveResult:
     """Assemble, factorize, and solve ``problem`` under ``config``.
@@ -311,6 +324,12 @@ def solve(
     in one kernel parameter, see :func:`repro.run_sweep`, which recycles
     construction across the parameter axis instead.
 
+    ``parallel=`` overrides the config's thread-pool execution spec
+    (``"off"`` pins today's serial schedule; ``"auto"`` / a worker count /
+    a :class:`~repro.backends.parallel.ParallelPolicy` enable bucket- and
+    pipeline-level parallelism) — shorthand for
+    ``config.replace(parallel=...)``.
+
     Returns a :class:`SolveResult`; the factorized operator inside it acts
     in the caller's ordering too and can be reused for more solves without
     re-assembly.
@@ -320,7 +339,7 @@ def solve(
             f"compute_residual must be True, False, or 'exact', got {compute_residual!r}"
         )
     assembled, operator, config = _cached_build(
-        problem, config, problem_params, tuning, cache
+        problem, config, problem_params, tuning, cache, parallel
     )
     if compute_residual == "exact" and assembled.operator is None:
         raise ValueError(
@@ -363,6 +382,7 @@ def solve_many(
     compute_residual: Union[bool, str] = True,
     tuning: Optional[str] = None,
     cache: CacheLike = None,
+    parallel: Optional[Any] = None,
     **problem_params: Any,
 ) -> SolveResult:
     """Solve ``problem`` against a block of ``K`` right-hand sides at once.
@@ -406,6 +426,7 @@ def solve_many(
         compute_residual=False,
         tuning=tuning,
         cache=cache,
+        parallel=parallel,
         **problem_params,
     )
     if not compute_residual:

@@ -1,0 +1,115 @@
+"""Portfolio solving: independent problems fanned out over the shared pool.
+
+A *portfolio* is a batch of unrelated solve requests — different operators,
+different kernel parameters, different right-hand sides — with no
+cross-solve structure a :func:`repro.run_sweep` could recycle.  What they
+do share is the machine: each request's assembly + factorization is an
+independent unit of work dominated by GIL-releasing BLAS, so the requests
+themselves parallelise across the calibrated thread pool
+(:mod:`repro.backends.parallel`).
+
+:func:`solve_portfolio` fans the requests out with :func:`~repro.backends.
+parallel.run_tasks`: results — and every worker's kernel events — come
+back in submission order, so traces and counters are identical to running
+the requests serially.  Requests running on the pool execute their *inner*
+bucket/pipeline parallelism inline (nested dispatch is suppressed), which
+keeps the bounded pool deadlock-free and the machine fully but not
+oversubscribed.
+
+The shared :class:`~repro.api.cache.OperatorCache` is reused under its
+existing lock: identical ``(problem, config)`` requests hit the cache and
+share one factorized operator.  Two *concurrent* first requests for the
+same key may both build (last put wins); the cache stays consistent either
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from ..backends.parallel import resolve_parallel, run_tasks
+from .config import SolverConfig
+from .facade import CacheLike, ProblemLike, SolveResult, solve
+
+__all__ = ["solve_portfolio"]
+
+#: one portfolio entry: a problem spelling :func:`repro.solve` accepts, or a
+#: mapping with a required ``"problem"`` key plus optional ``"b"`` /
+#: ``"config"`` keys — every remaining key is a problem parameter
+PortfolioItem = Union[ProblemLike, Mapping[str, Any]]
+
+
+def solve_portfolio(
+    problems: Sequence[PortfolioItem],
+    config: Optional[SolverConfig] = None,
+    *,
+    compute_residual: Union[bool, str] = True,
+    tuning: Optional[str] = None,
+    cache: CacheLike = True,
+    parallel: Optional[Any] = None,
+) -> List[SolveResult]:
+    """Solve a batch of independent problems, concurrently when profitable.
+
+    Parameters
+    ----------
+    problems:
+        The portfolio entries.  Each is either a problem spelling
+        :func:`repro.solve` accepts (a registered name, a ``Problem``, an
+        ``AssembledProblem``, an ``HODLRMatrix``, a ``KernelMatrix``, or a
+        dense array) or a mapping ``{"problem": ..., "b": ..., "config":
+        ..., **problem_params}`` overriding the shared defaults per entry.
+    config:
+        Shared :class:`SolverConfig` for entries that do not carry their
+        own (``None`` = each problem's default config).
+    compute_residual / tuning:
+        Forwarded to every :func:`repro.solve` call.
+    cache:
+        Defaults to ``True``: all entries share the process-wide
+        :class:`~repro.api.cache.OperatorCache`, so identical
+        ``(problem, config)`` entries factorize once.
+    parallel:
+        How the *portfolio* fans out: ``"off"`` runs the entries serially
+        in order, ``"auto"`` / an int / a
+        :class:`~repro.backends.parallel.ParallelPolicy` dispatches them to
+        the shared pool, and ``None`` (default) defers to the
+        ``REPRO_PARALLEL`` environment variable.  Entries' own ``parallel``
+        config fields keep governing their inner bucket dispatch when the
+        portfolio itself runs serially.
+
+    Returns
+    -------
+    list of :class:`SolveResult`, in the order of ``problems`` regardless
+    of completion order.
+    """
+    specs = []
+    for item in problems:
+        if isinstance(item, Mapping):
+            params = dict(item)
+            if "problem" not in params:
+                raise TypeError(
+                    "a portfolio mapping entry needs a 'problem' key, got keys "
+                    f"{sorted(params)}"
+                )
+            prob = params.pop("problem")
+            b = params.pop("b", None)
+            cfg = params.pop("config", config)
+            specs.append((prob, b, cfg, params))
+        else:
+            specs.append((item, None, config, {}))
+
+    def _solve_one(spec):
+        prob, b, cfg, params = spec
+        return solve(
+            prob,
+            b,
+            cfg,
+            compute_residual=compute_residual,
+            tuning=tuning,
+            cache=cache,
+            **params,
+        )
+
+    # no element estimate: whole solves always clear any sensible per-task
+    # floor, so only the task count and worker availability gate dispatch
+    policy = resolve_parallel(parallel)
+    return run_tasks([lambda s=s: _solve_one(s) for s in specs], policy)

@@ -80,6 +80,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 import scipy.linalg as sla
 
+from ..backends.parallel import resolve_parallel, run_tasks
 from ..core.hodlr import HODLRMatrix
 from ..core.low_rank import LowRankFactor
 from ..core.solver import SolveStats
@@ -517,22 +518,35 @@ def _config_sweep(
     rhs: Optional[np.ndarray],
     compute_residual: bool,
     keep_operators: bool = True,
+    policy: Optional[Any] = None,
 ) -> SweepResult:
     """Sweep solver configs over one fixed problem, sharing assembly."""
     from .facade import assemble
 
-    steps: List[SweepStep] = []
+    # phase 1 (serial): assemble once per distinct construction key — the
+    # key is everything assembly depends on: compression settings plus the
+    # construction context (backend / dtype / precision / dispatch)
+    keys = [
+        (cfg.compression, cfg.backend, cfg.dtype, cfg.precision, cfg.dispatch_policy)
+        for cfg in configs
+    ]
     assembled_by_comp: Dict[Any, AssembledProblem] = {}
-    for cfg in configs:
+    assemble_seconds: Dict[Any, float] = {}
+    recycled_flags: List[bool] = []
+    for cfg, key in zip(configs, keys):
+        recycled_flags.append(key in assembled_by_comp)
+        if key not in assembled_by_comp:
+            t0 = time.perf_counter()
+            assembled_by_comp[key] = assemble(problem, cfg)
+            assemble_seconds[key] = time.perf_counter() - t0
+
+    # phase 2: factorize + solve per config.  Each step builds its own
+    # operator from the shared (read-only from here on) assembled problem,
+    # so the steps are independent and run on the pool when a parallel
+    # policy is active; run_tasks inlines them, in order, when it is not
+    def _config_step(cfg: SolverConfig, key: Any, recycled: bool) -> SweepStep:
+        assembled = assembled_by_comp[key]
         t_start = time.perf_counter()
-        # everything assembly depends on: compression settings plus the
-        # construction context (backend / dtype / precision / dispatch)
-        key = (cfg.compression, cfg.backend, cfg.dtype, cfg.precision, cfg.dispatch_policy)
-        assembled = assembled_by_comp.get(key)
-        recycled = assembled is not None
-        if assembled is None:
-            assembled = assemble(problem, cfg)
-            assembled_by_comp[key] = assembled
         operator = HODLROperator(assembled.hodlr, cfg, perm=assembled.perm)
         b = assembled.rhs if rhs is None else rhs
         if b is None:
@@ -552,27 +566,37 @@ def _config_sweep(
             nb = float(np.linalg.norm(b))
             relres = float(np.linalg.norm(r)) / nb if nb > 0 else float(np.linalg.norm(r))
             operator.solver.stats.relative_residual = relres
-        steps.append(
-            SweepStep(
-                params={"config": cfg.to_dict()},
-                x=x,
-                relative_residual=relres,
-                recycled=recycled,
-                fallback_blocks=0,
-                num_blocks=0,
-                seconds={
-                    "eval": 0.0,
-                    "factorize": factor_seconds,
-                    "solve": solve_seconds,
-                    "total": time.perf_counter() - t_start,
-                },
-                max_rank=max(
-                    (u.shape[1] for u in assembled.hodlr.U.values()), default=0
-                ),
-                stats=operator.stats,
-                operator=operator if keep_operators else None,
-            )
+        total = time.perf_counter() - t_start
+        if not recycled:
+            # the step that first built this assembly owns its wall-clock
+            total += assemble_seconds[key]
+        return SweepStep(
+            params={"config": cfg.to_dict()},
+            x=x,
+            relative_residual=relres,
+            recycled=recycled,
+            fallback_blocks=0,
+            num_blocks=0,
+            seconds={
+                "eval": 0.0,
+                "factorize": factor_seconds,
+                "solve": solve_seconds,
+                "total": total,
+            },
+            max_rank=max(
+                (u.shape[1] for u in assembled.hodlr.U.values()), default=0
+            ),
+            stats=operator.stats,
+            operator=operator if keep_operators else None,
         )
+
+    steps = run_tasks(
+        [
+            lambda cfg=cfg, key=key, rec=rec: _config_step(cfg, key, rec)
+            for cfg, key, rec in zip(configs, keys, recycled_flags)
+        ],
+        policy,
+    )
     return SweepResult(steps=steps)
 
 
@@ -590,6 +614,7 @@ def run_sweep(
     keep_workspace: bool = False,
     keep_operators: bool = False,
     tuning: Optional[str] = None,
+    parallel: Optional[Any] = None,
     **problem_params: Any,
 ) -> SweepResult:
     """Solve a family of related systems, recycling construction.
@@ -623,6 +648,17 @@ def run_sweep(
         hundreds of MB, so a long sweep retaining all of them would hoard
         memory; solutions, residuals, stats, and trace rows are always
         kept.
+    parallel:
+        Concurrency of the *independent* sweep steps: ``"off"`` (serial),
+        ``"auto"``, an explicit worker count, or a
+        :class:`~repro.backends.parallel.ParallelPolicy`; ``None``
+        (default) defers to the ``REPRO_PARALLEL`` environment variable.
+        Non-incremental steps — config-sweep factorizations sharing a
+        read-only assembly, and parameter steps that fall back to full
+        solves — fan out over the shared pool.  Recycled workspace steps
+        stay serial regardless: each one reads the skeletons the previous
+        step's fallbacks may have refreshed, so their order is part of the
+        algorithm.  Results and trace rows are identical to a serial run.
 
     Returns a :class:`SweepResult` whose ``trace()`` rows record, per
     step, the residual, timing breakdown, ranks, and whether the step was
@@ -639,6 +675,7 @@ def run_sweep(
     configs = list(configs)
     if not configs:
         return SweepResult(steps=[])
+    policy = resolve_parallel(parallel)
     if all(isinstance(c, SolverConfig) for c in configs):
         if config is not None:
             raise ValueError(
@@ -646,7 +683,7 @@ def run_sweep(
             )
         problem_r, _ = _resolve_problem(problem, configs[0], problem_params, tuning)
         return _config_sweep(
-            problem_r, configs, rhs, compute_residual, keep_operators
+            problem_r, configs, rhs, compute_residual, keep_operators, policy
         )
     if any(isinstance(c, SolverConfig) for c in configs):
         raise TypeError("configs mixes SolverConfig objects and parameter mappings")
@@ -660,14 +697,33 @@ def run_sweep(
         has_spec and set(ov).issubset(sweepable) for ov in overrides
     ]
 
+    # non-incremental steps (full independent solves) fan out over the
+    # pool up front; recycled steps run serially below — each one reads
+    # the skeletons the previous step's fallbacks may have refreshed, so
+    # their order is part of the algorithm, not an implementation detail
+    slots: List[Optional[SweepStep]] = [None] * len(overrides)
+    if policy is not None:
+        noninc = [i for i, ok in enumerate(recyclable) if not ok]
+        if noninc:
+            full = run_tasks(
+                [
+                    lambda ov=overrides[i]: _full_solve_step(
+                        problem_r, ov, cfg, rhs, compute_residual, keep_operators
+                    )
+                    for i in noninc
+                ],
+                policy,
+            )
+            for i, st in zip(noninc, full):
+                slots[i] = st
+
     workspace: Optional[SweepWorkspace] = None
-    steps: List[SweepStep] = []
-    for ov, can_recycle in zip(overrides, recyclable):
+    for pos, (ov, can_recycle) in enumerate(zip(overrides, recyclable)):
+        if slots[pos] is not None:
+            continue
         if not can_recycle:
-            steps.append(
-                _full_solve_step(
-                    problem_r, ov, cfg, rhs, compute_residual, keep_operators
-                )
+            slots[pos] = _full_solve_step(
+                problem_r, ov, cfg, rhs, compute_residual, keep_operators
             )
             continue
         if workspace is None:
@@ -701,20 +757,17 @@ def run_sweep(
                 workspace.problem = problem_r
             except TypeError:
                 workspace = None
-                steps.append(
-                    _full_solve_step(
-                        problem_r, ov, cfg, rhs, compute_residual, keep_operators
-                    )
+                slots[pos] = _full_solve_step(
+                    problem_r, ov, cfg, rhs, compute_residual, keep_operators
                 )
                 continue
-        steps.append(
-            workspace.step(
-                ov,
-                rhs=rhs,
-                compute_residual=compute_residual,
-                keep_operator=keep_operators,
-            )
+        slots[pos] = workspace.step(
+            ov,
+            rhs=rhs,
+            compute_residual=compute_residual,
+            keep_operator=keep_operators,
         )
     return SweepResult(
-        steps=steps, workspace=workspace if keep_workspace else None
+        steps=[s for s in slots if s is not None],
+        workspace=workspace if keep_workspace else None,
     )

@@ -7,14 +7,20 @@ read/written.  Traces are the raw material for the analytic performance
 model (:mod:`repro.backends.perfmodel`) and for the GFlop/s figures
 (Fig. 9 of the paper).
 
-The recorder is intentionally simple and thread-unaware: HODLR
-factorizations issue a modest number of large batched launches (a few per
-tree level), so recording is cheap relative to the numerical work.
+Recording is cheap relative to the numerical work (a few large batched
+launches per tree level) and is **thread-safe with deterministic merge
+order**: the recorder's trace stack and ambient context are thread-local,
+workers of the shared pool (:mod:`repro.backends.parallel`) record into
+detached per-task sub-traces (:meth:`TraceRecorder.subtrace`), and the
+coordinator absorbs them in stable task-index order
+(:meth:`TraceRecorder.absorb`) — never completion order — so parallel
+runs produce byte-identical traces equal to the serial event sequence.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -182,28 +188,44 @@ class TraceRecorder:
     >>> with rec.recording() as trace:
     ...     ...  # run a factorization
     >>> trace.total_flops  # doctest: +SKIP
+
+    State (the trace stack and the ambient level/tag/stream context) is
+    **thread-local**: each thread records into its own stack, so pool
+    workers never contend with — or interleave into — the coordinator's
+    trace.  The parallel executor captures the coordinator's ambient
+    context (:meth:`capture_ambient`), installs it in each worker's
+    detached :meth:`subtrace`, and merges the sub-traces back with
+    :meth:`absorb` in stable task-index order.
     """
 
     def __init__(self) -> None:
-        self._stack: List[KernelTrace] = []
-        #: ambient context applied to every recorded event
-        self._level: Optional[int] = None
-        self._tag: str = ""
-        self._stream: Optional[int] = None
+        self._tls = threading.local()
+
+    def _state(self):
+        """This thread's recorder state, created on first touch."""
+        tls = self._tls
+        if not hasattr(tls, "stack"):
+            tls.stack: List[KernelTrace] = []
+            #: ambient context applied to every recorded event
+            tls.level: Optional[int] = None
+            tls.tag: str = ""
+            tls.stream: Optional[int] = None
+        return tls
 
     # -- context management ------------------------------------------------
     @contextlib.contextmanager
     def recording(self) -> Iterator[KernelTrace]:
+        st = self._state()
         trace = KernelTrace()
-        self._stack.append(trace)
+        st.stack.append(trace)
         try:
             yield trace
         finally:
-            popped = self._stack.pop()
+            popped = st.stack.pop()
             # nested recordings bubble up into their parent so that an outer
             # trace sees the union of all inner work.
-            if self._stack:
-                self._stack[-1].extend(popped)
+            if st.stack:
+                st.stack[-1].extend(popped)
 
     @contextlib.contextmanager
     def context(
@@ -213,44 +235,86 @@ class TraceRecorder:
         stream: Optional[int] = None,
     ) -> Iterator[None]:
         """Temporarily attach level/tag/stream metadata to recorded events."""
-        old = (self._level, self._tag, self._stream)
+        st = self._state()
+        old = (st.level, st.tag, st.stream)
         if level is not None:
-            self._level = level
+            st.level = level
         if tag is not None:
-            self._tag = tag
+            st.tag = tag
         if stream is not None:
-            self._stream = stream
+            st.stream = stream
         try:
             yield
         finally:
-            self._level, self._tag, self._stream = old
+            st.level, st.tag, st.stream = old
+
+    # -- worker-side sub-traces (see repro.backends.parallel) ---------------
+    def capture_ambient(self) -> Tuple[Optional[int], str, Optional[int]]:
+        """This thread's ambient ``(level, tag, stream)``, for re-installation
+        inside a worker's :meth:`subtrace`."""
+        st = self._state()
+        return (st.level, st.tag, st.stream)
+
+    @contextlib.contextmanager
+    def subtrace(
+        self, ambient: Optional[Tuple[Optional[int], str, Optional[int]]] = None
+    ) -> Iterator[KernelTrace]:
+        """Record this thread's events into a fresh *detached* trace.
+
+        Unlike :meth:`recording`, the popped trace does **not** bubble into
+        a parent on this thread — the coordinator that submitted the task
+        merges it explicitly with :meth:`absorb`, in task-index order.
+        ``ambient`` (from the submitter's :meth:`capture_ambient`) is
+        installed for the duration so events keep their level/tag/stream
+        annotations across the thread hop.
+        """
+        st = self._state()
+        old = (st.level, st.tag, st.stream)
+        if ambient is not None:
+            st.level, st.tag, st.stream = ambient
+        trace = KernelTrace()
+        st.stack.append(trace)
+        try:
+            yield trace
+        finally:
+            st.stack.pop()
+            st.level, st.tag, st.stream = old
+
+    def absorb(self, trace: KernelTrace) -> None:
+        """Merge a worker sub-trace into this thread's active trace (no-op
+        when nothing is recording)."""
+        st = self._state()
+        if st.stack:
+            st.stack[-1].extend(trace)
 
     # -- event emission ----------------------------------------------------
     def emit(self, event: KernelEvent) -> None:
-        if not self._stack:
+        st = self._state()
+        if not st.stack:
             return
-        if self._level is not None or self._tag or self._stream is not None:
+        if st.level is not None or st.tag or st.stream is not None:
             event = replace(
                 event,
-                stream=event.stream if event.stream is not None else self._stream,
-                level=event.level if event.level is not None else self._level,
-                tag=event.tag or self._tag,
+                stream=event.stream if event.stream is not None else st.stream,
+                level=event.level if event.level is not None else st.level,
+                tag=event.tag or st.tag,
             )
-        self._stack[-1].append(event)
+        st.stack[-1].append(event)
 
     def add_transfer(self, nbytes: float, direction: str = "h2d") -> None:
-        if not self._stack:
+        st = self._state()
+        if not st.stack:
             return
         if direction == "h2d":
-            self._stack[-1].h2d_bytes += float(nbytes)
+            st.stack[-1].h2d_bytes += float(nbytes)
         elif direction == "d2h":
-            self._stack[-1].d2h_bytes += float(nbytes)
+            st.stack[-1].d2h_bytes += float(nbytes)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown transfer direction {direction!r}")
 
     @property
     def active(self) -> bool:
-        return bool(self._stack)
+        return bool(self._state().stack)
 
 
 _GLOBAL_RECORDER = TraceRecorder()

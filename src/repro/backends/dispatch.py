@@ -40,6 +40,7 @@ tested on bare tuples in ``tests/test_dispatch.py``).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -659,6 +660,9 @@ class CupyBackend:
 # ======================================================================
 # backend registry
 # ======================================================================
+#: guards the factory/instance dicts — registration and first-lookup
+#: instantiation may now race with pool workers resolving backends
+_REGISTRY_LOCK = threading.Lock()
 _BACKEND_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
 _BACKEND_INSTANCES: Dict[str, ArrayBackend] = {}
 
@@ -671,32 +675,41 @@ def register_backend(
     The factory is called lazily on the first :func:`get_backend` lookup; a
     factory may raise :class:`BackendUnavailableError` to signal a missing
     runtime dependency (the backend then shows as registered but not
-    available).
+    available).  Registration and lookup are thread-safe.
     """
-    if not overwrite and name in _BACKEND_FACTORIES:
-        raise ValueError(f"backend {name!r} is already registered")
-    _BACKEND_FACTORIES[name] = factory
-    _BACKEND_INSTANCES.pop(name, None)
+    with _REGISTRY_LOCK:
+        if not overwrite and name in _BACKEND_FACTORIES:
+            raise ValueError(f"backend {name!r} is already registered")
+        _BACKEND_FACTORIES[name] = factory
+        _BACKEND_INSTANCES.pop(name, None)
 
 
 def get_backend(name: str = "numpy") -> ArrayBackend:
-    """Return the (cached) backend instance registered under ``name``."""
-    if name in _BACKEND_INSTANCES:
-        return _BACKEND_INSTANCES[name]
-    try:
-        factory = _BACKEND_FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown array backend {name!r}; registered: {sorted(_BACKEND_FACTORIES)}"
-        ) from None
-    instance = factory()
-    _BACKEND_INSTANCES[name] = instance
-    return instance
+    """Return the (cached) backend instance registered under ``name``.
+
+    Thread-safe: concurrent first lookups of the same name instantiate the
+    factory once (the lock is held across instantiation, which is cheap —
+    backends bind module handles, they do not touch devices).
+    """
+    with _REGISTRY_LOCK:
+        if name in _BACKEND_INSTANCES:
+            return _BACKEND_INSTANCES[name]
+        try:
+            factory = _BACKEND_FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown array backend {name!r}; registered: "
+                f"{sorted(_BACKEND_FACTORIES)}"
+            ) from None
+        instance = factory()
+        _BACKEND_INSTANCES[name] = instance
+        return instance
 
 
 def registered_backends() -> List[str]:
     """Names of all registered backends (available or not)."""
-    return sorted(_BACKEND_FACTORIES)
+    with _REGISTRY_LOCK:
+        return sorted(_BACKEND_FACTORIES)
 
 
 def available_backends() -> List[str]:

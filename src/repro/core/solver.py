@@ -35,6 +35,7 @@ Variants
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -194,6 +195,9 @@ class HODLRSolver:
         # dtype argument, never implicitly
         self.hodlr = hodlr if dtype is None else hodlr.astype(dtype)
         self.stats = SolveStats()
+        # solve() may run concurrently (parallel sweeps/portfolios sharing a
+        # cached operator); the read-modify-write stats update needs a lock
+        self._stats_lock = threading.Lock()
         self._impl: Optional[
             Union[RecursiveFactorization, FlatFactorization, BatchedFactorization]
         ] = None
@@ -331,12 +335,15 @@ class HODLRSolver:
         # a fused (n, K) block counts K right-hand sides: one plan replay
         # amortizes its launches across the whole block
         nrhs = int(b.shape[1]) if getattr(b, "ndim", 1) == 2 else 1
-        self.stats.last_solve_seconds = elapsed
-        self.stats.last_batch_size = nrhs
-        self.stats.solve_seconds += elapsed
-        self.stats.num_solves += nrhs
+        with self._stats_lock:
+            self.stats.last_solve_seconds = elapsed
+            self.stats.last_batch_size = nrhs
+            self.stats.solve_seconds += elapsed
+            self.stats.num_solves += nrhs
         if compute_residual:
-            self.stats.relative_residual = self.relative_residual(x, b)
+            residual = self.relative_residual(x, b)
+            with self._stats_lock:
+                self.stats.relative_residual = residual
         return x
 
     def relative_residual(self, x: np.ndarray, b: np.ndarray) -> float:

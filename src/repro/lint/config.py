@@ -88,6 +88,16 @@ class LintConfig:
     rl004_include: Tuple[str, ...] = ("src", "tests")
     #: RL005 project files: every dataclass in them must serialise fully
     rl005_files: Tuple[str, ...] = ("src/repro/api/config.py",)
+    #: RL006 scope: modules whose functions run on the shared thread pool —
+    #: module-global mutation there must sit under a ``with <lock>`` block
+    rl006_modules: Tuple[str, ...] = (
+        "src/repro/backends/batched.py",
+        "src/repro/backends/calibration.py",
+        "src/repro/backends/dispatch.py",
+        "src/repro/backends/parallel.py",
+        "src/repro/core/apply_plan.py",
+        "src/repro/core/factor_plan.py",
+    )
 
     def resolve(self, relpath: str) -> Path:
         return self.root / relpath

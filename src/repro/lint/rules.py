@@ -462,6 +462,185 @@ def rl003_trace_accounting(project) -> Iterator[Violation]:
 
 
 # ======================================================================
+# RL006 — unsynchronized module-global mutation in pool-executed modules
+# ======================================================================
+
+#: container methods that mutate their receiver in place
+_RL006_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+#: module-level values that are safe to touch without a lock by construction
+_RL006_THREADSAFE_FACTORIES = ("threading.local", "contextvars.ContextVar")
+
+
+def _rl006_root_name(expr: ast.expr) -> Optional[str]:
+    """The base ``Name`` of a (possibly chained) subscript/attribute target."""
+    while isinstance(expr, (ast.Subscript, ast.Attribute)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _rl006_module_names(tree: ast.Module, imports: ImportMap) -> Set[str]:
+    """Names bound at module level to values shared across pool workers.
+
+    Names bound to ``threading.local()`` / ``contextvars.ContextVar(...)``
+    are excluded: their whole point is per-thread isolation.
+    """
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+            value = getattr(node, "value", None)
+        if isinstance(value, ast.Call):
+            resolved = imports.resolve(value.func)
+            if resolved in _RL006_THREADSAFE_FACTORIES:
+                continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+            elif isinstance(t, (ast.Tuple, ast.List)):
+                names.update(e.id for e in t.elts if isinstance(e, ast.Name))
+    return names
+
+
+def _rl006_lock_guard(node) -> bool:
+    """Is this ``with`` statement (textually) a lock acquisition?"""
+    return any(
+        "lock" in ast.unparse(item.context_expr).lower() for item in node.items
+    )
+
+
+@register_rule(
+    "RL006",
+    "pool-shared-state",
+    "file",
+    "pool-executed modules must mutate module globals only under a lock",
+)
+def rl006_pool_shared_state(ctx) -> Iterator[Violation]:
+    if not _in_scope(ctx.relpath, ctx.config.rl006_modules):
+        return
+    module_names = _rl006_module_names(ctx.tree, ctx.imports)
+    found: List[Violation] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        found.append(
+            make_violation(
+                ctx.relpath,
+                node,
+                "RL006",
+                f"{what} outside any `with <lock>` block in a pool-executed "
+                "module: tasks on the shared thread pool can run this code "
+                "concurrently and race the mutation.  Hold a module lock "
+                "around it, make the state thread-local, or baseline a "
+                "deliberately unsynchronized path with a reasoned pragma",
+            )
+        )
+
+    def mutates_global(target: ast.expr, declared: Set[str]) -> Optional[str]:
+        """The mutated module-global's name, or None."""
+        if isinstance(target, ast.Name):
+            return target.id if target.id in declared else None
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _rl006_root_name(target)
+            if root is not None and (root in module_names or root in declared):
+                return root
+            return None
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                hit = mutates_global(elt, declared)
+                if hit is not None:
+                    return hit
+        return None
+
+    def scan(node: ast.AST, declared: Set[str], guarded: bool) -> None:
+        """Walk a function body tracking lexical ``with <lock>`` guards.
+
+        ``declared`` holds the enclosing function's ``global`` names; a
+        nested def restarts both sets — it executes at call time, not where
+        it is defined, so an enclosing guard proves nothing about it.
+        """
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = {
+                    name
+                    for sub in ast.walk(child)
+                    if isinstance(sub, ast.Global)
+                    for name in sub.names
+                }
+                scan(child, inner, False)
+                continue
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                scan(child, declared, guarded or _rl006_lock_guard(child))
+                continue
+            if not guarded:
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        hit = mutates_global(target, declared)
+                        if hit is not None:
+                            flag(child, f"assignment to module global {hit!r}")
+                            break
+                elif isinstance(child, ast.Delete):
+                    for target in child.targets:
+                        hit = mutates_global(target, declared)
+                        if hit is not None:
+                            flag(child, f"deletion of module global {hit!r}")
+                            break
+                elif (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in _RL006_MUTATORS
+                ):
+                    root = _rl006_root_name(child.func.value)
+                    if root is not None and root in module_names:
+                        flag(
+                            child,
+                            f"in-place .{child.func.attr}() on module "
+                            f"global {root!r}",
+                        )
+            scan(child, declared, guarded)
+
+    def find_functions(node: ast.AST) -> None:
+        # module-level statements run once under the import lock; only code
+        # inside functions can execute concurrently on the pool
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                declared = {
+                    name
+                    for sub in ast.walk(child)
+                    if isinstance(sub, ast.Global)
+                    for name in sub.names
+                }
+                scan(child, declared, False)
+            else:
+                find_functions(child)
+
+    find_functions(ctx.tree)
+    yield from found
+
+
+# ======================================================================
 # RL005 — config serialization drift (cross-module)
 # ======================================================================
 def _is_dataclass_decorated(node: ast.ClassDef) -> bool:

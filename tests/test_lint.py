@@ -472,6 +472,143 @@ class TestRL005:
 
 
 # ======================================================================
+# RL006 — unsynchronized module-global mutation in pool-executed modules
+# ======================================================================
+class TestRL006:
+    def config(self, tmp_path):
+        return LintConfig(root=tmp_path, rl006_modules=("mod.py",))
+
+    def test_flags_unguarded_mutation(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            _CACHE = {}
+            _SEEN = []
+            _COUNT = 0
+
+            def f(key, value):
+                global _COUNT
+                _CACHE[key] = value
+                _SEEN.append(key)
+                _COUNT += 1
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert _codes(result) == ["RL006", "RL006", "RL006"]
+        messages = " ".join(v.message for v in result.violations)
+        assert "_CACHE" in messages and "_SEEN" in messages and "_COUNT" in messages
+
+    def test_lock_guarded_mutation_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}
+            _COUNT = 0
+
+            def f(key, value):
+                global _COUNT
+                with _LOCK:
+                    _CACHE[key] = value
+                    _CACHE.setdefault(key, value)
+                    _COUNT += 1
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert result.ok
+
+    def test_thread_local_state_exempt(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            import threading
+
+            _TLS = threading.local()
+
+            def f(flag):
+                _TLS.active = flag
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert result.ok
+
+    def test_local_variables_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            _SHARED = {}
+
+            def f(items):
+                groups = {}
+                for item in items:
+                    groups.setdefault(item, []).append(item)
+                local = dict(_SHARED)
+                local["x"] = 1
+                return groups, local
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert result.ok
+
+    def test_nested_function_not_covered_by_enclosing_guard(self, tmp_path):
+        # a def under a `with lock` runs at *call* time — the guard at its
+        # definition site proves nothing about who holds the lock later
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}
+
+            def f(key, value):
+                with _LOCK:
+                    def callback():
+                        _CACHE[key] = value
+                    return callback
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert _codes(result) == ["RL006"]
+
+    def test_pragma_escape(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            _BEST = None
+
+            def f(score):
+                global _BEST
+                _BEST = score  # repro-lint: ignore[RL006] -- benign last-write-wins hint, consumers tolerate staleness
+            """,
+        )
+        result = run_lint(["mod.py"], config=self.config(tmp_path))
+        assert result.ok
+
+    def test_out_of_scope_module_untouched(self, tmp_path):
+        _write(
+            tmp_path,
+            "other.py",
+            """
+            _CACHE = {}
+
+            def f(key, value):
+                _CACHE[key] = value
+            """,
+        )
+        result = run_lint(["other.py"], config=self.config(tmp_path))
+        assert result.ok
+
+
+# ======================================================================
 # pragmas
 # ======================================================================
 class TestPragmas:
