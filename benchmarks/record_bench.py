@@ -1,4 +1,4 @@
-"""Record the repo's measured perf trajectory: ``BENCH_pr9.json``.
+"""Record the repo's measured perf trajectory: ``BENCH_pr10.json``.
 
 Times the hot paths of the batched pipeline — HODLR **construction**, the
 **matvec/GMRES apply loop**, the **end-to-end solve**, the **compiled
@@ -14,7 +14,12 @@ skeletons, and cached distance blocks across a 16-point Helmholtz
 frequency sweep vs 16 independent ``repro.solve`` calls) — and, new in
 PR 9, the **parallel execution engine** rows: the end-to-end solve and
 an all-independent-steps sweep under the thread-pooled engine
-(:mod:`repro.backends.parallel`) vs the bit-identical serial path.
+(:mod:`repro.backends.parallel`) vs the bit-identical serial path — and,
+new in PR 10, the **streaming update** rows: k-point inserts (factored
+bordering of the dirty blocks + prefix-replay plan patching) and a
+k-point delete against full construction + factorization rebuilds, at
+equal *exact* residual, with the patch's dirty-bucket launch counts
+recorded per row.
 Correctness gates the parallel rows on *every* host (solutions to 1e-12
 and literally identical launch/flop counters — the schedule is recorded
 analytically on the dispatching thread, so it is a deterministic fact
@@ -35,7 +40,7 @@ the wall-clock rows stay informational.
 
 Usage::
 
-    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr9.json
+    python benchmarks/record_bench.py                 # full sizes -> BENCH_pr10.json
     python benchmarks/record_bench.py --smoke         # CI perf-gate sizes
     python benchmarks/record_bench.py --output out.json
 
@@ -45,9 +50,11 @@ auto-tuned solve identical to the default-policy solve to 1e-12 at
 N=16384 (PR 6), a fused K=32 block solve >= 4x faster than 32 sequential
 plan solves at N=16384 with identical solutions to 1e-12 (PR 8), the
 16-point Helmholtz sweep >= 2x faster than independent re-builds at equal
-residual (PR 8), and — on a host with >= 4 cores — the thread-pooled
+residual (PR 8), — on a host with >= 4 cores — the thread-pooled
 end-to-end solve >= 1.5x at N=16384 and the 8-step all-independent sweep
->= 2x (PR 9).  Both the full and smoke runs also *assert the plan path
+>= 2x (PR 9), and the k=1/k=16 streaming insert and k=16 delete each
+>= 5x faster than a full rebuild at N=16384 and equal exact residual
+(PR 10).  Both the full and smoke runs also *assert the plan path
 is actually taken* via the kernel trace (``num_plan_launches ==
 launches_per_solve``, for block right-hand sides independent of K), so a
 regression to per-solve re-bucketing fails the job loudly.
@@ -56,6 +63,7 @@ regression to per-solve re-bucketing fails the job loudly.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -81,6 +89,9 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 
 def _timed(fn):
+    # collect before timing so garbage from setup/earlier runs cannot pay
+    # its collection cost inside the measured window
+    gc.collect()
     t0 = time.perf_counter()
     out = fn()
     return time.perf_counter() - t0, out
@@ -330,6 +341,198 @@ def bench_param_sweep(n, points=16, min_speedup=None):
     if min_speedup is not None:
         assert row["speedup"] >= min_speedup, (
             f"sweep speedup {row['speedup']} below {min_speedup}x"
+        )
+    return row
+
+
+def _gauss1d_entries(x, lengthscale=0.25, shift=1.0):
+    """Entry evaluator of a shifted 1-D Gaussian kernel matrix over ``x``.
+
+    Sorted 1-D points need no cluster-tree reordering, so insertion indices
+    mean the same thing to the caller and the tree — the bench measures the
+    update machinery, not permutation bookkeeping.
+    """
+
+    def entries(rows, cols):
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        d = x[rows][:, None] - x[cols][None, :]
+        out = np.exp(-0.5 * (d / lengthscale) ** 2)
+        if shift:
+            out = out + shift * (rows[:, None] == cols[None, :])
+        return out
+
+    return entries
+
+
+def _exact_matvec(entries, n, v, chunk=1024):
+    """Dense operator applied in row chunks (never materialises (n, n))."""
+    out = np.empty(n, dtype=np.asarray(v).dtype)
+    cols = np.arange(n, dtype=np.intp)
+    for s in range(0, n, chunk):
+        r = np.arange(s, min(s + chunk, n), dtype=np.intp)
+        out[r] = entries(r, cols) @ v
+    return out
+
+
+def bench_incremental_update(n, ks=(1, 16, 256), tol=1e-8, leaf_size=64,
+                             min_speedup=None):
+    """The PR-10 rows: k-point streaming insert vs a full rebuild.
+
+    The update side runs :func:`repro.update_points` (factored bordering of
+    the O(log N) dirty blocks) followed by
+    :meth:`~repro.core.solver.HODLRSolver.patch_factorize` (prefix-replay
+    plan patching); the rebuild side re-runs construction + factorization
+    from scratch on the extended point set.  Residual parity is checked
+    against the *exact* operator (chunked dense matvec), so the speedup is
+    at equal accuracy, not a cheaper answer.  The k new points arrive in
+    one contiguous region (streaming arrivals are local), keeping the
+    dirty-block fraction low; the launch counters of the patch are
+    recorded per row.  Both sides take the best of two single-shot runs
+    (the sub-second noise convention of :func:`_timed_pair_best`), with a
+    fresh factorization set up untimed before each update repeat.
+
+    The arrival window sits in a leaf *interior* (``n // 3`` lands mid-leaf
+    for power-of-two balanced trees): a generic local arrival straddles the
+    root split only with probability ~k/N, so centering the window on the
+    global median — the one place that doubles the dirty path — would
+    measure the measure-zero worst case instead of the streaming case the
+    row is named for.
+    """
+    from repro import ClusterTree, build_hodlr, update_points
+
+    rng = np.random.default_rng(0)
+    rows = {}
+    for k in ks:
+        n_new = n + k
+        x_all = np.sort(rng.uniform(0.0, 1.0, n_new))
+        start = n // 3
+        where = np.arange(start, start + k)
+        x_old = np.delete(x_all, where)
+        ent_new = _gauss1d_entries(x_all)
+        ent_old = _gauss1d_entries(x_old)
+        tree = ClusterTree.balanced(n, leaf_size=leaf_size)
+        H_old = build_hodlr(ent_old, tree, tol=tol, method="rook")
+
+        def run_update(s):
+            upd = update_points(H_old, ent_new, where, tol=tol)
+            s.patch_factorize(upd.matrix, upd.dirty_nodes)
+            return upd
+
+        def run_rebuild():
+            tree_new = ClusterTree.balanced(n_new, leaf_size=leaf_size)
+            H = build_hodlr(ent_new, tree_new, tol=tol, method="rook")
+            return HODLRSolver(H, variant="batched").factorize()
+
+        # untimed probe pass on a throwaway factorization: records the patch
+        # launch counters and warms the code paths, so the timed runs below
+        # carry no recording overhead (the rebuild side never recorded)
+        probe = HODLRSolver(H_old, variant="batched").factorize()
+        rec = get_recorder()
+        with rec.recording() as tr_patch:
+            upd_p = update_points(probe.hodlr, ent_new, where, tol=tol)
+            probe.patch_factorize(upd_p.matrix, upd_p.dirty_nodes)
+        stats = probe.factor_plan.last_patch_stats
+        del probe, upd_p
+
+        # best-of-2 single-shot pairs (the sub-second A/B convention,
+        # adapted for the stateful update side: a fresh factorization is
+        # set up untimed before each repeat)
+        tu = tb = float("inf")
+        for _ in range(2):
+            s_i = HODLRSolver(H_old, variant="batched").factorize()
+            t_i, u_i = _timed(lambda: run_update(s_i))
+            if t_i < tu:
+                tu, upd, solver = t_i, u_i, s_i
+            t_i, f_i = _timed(run_rebuild)
+            if t_i < tb:
+                tb, fresh = t_i, f_i
+
+        b = rng.standard_normal(n_new)
+        x_u = solver.solve(b)
+        x_r = fresh.solve(b)
+        bnorm = np.linalg.norm(b)
+        relres_u = float(np.linalg.norm(_exact_matvec(ent_new, n_new, x_u) - b) / bnorm)
+        relres_r = float(np.linalg.norm(_exact_matvec(ent_new, n_new, x_r) - b) / bnorm)
+        assert relres_u < 10 * max(relres_r, 1e-12), (
+            f"k={k} patched residual {relres_u:.2e} worse than rebuild {relres_r:.2e}"
+        )
+        packs = sum(1 for e in tr_patch.events if e.kernel == "factor_patch_bucket")
+        row = _row(f"incremental_update_k{k}", tu, tb, fast_label="update",
+                   slow_label="rebuild", n=n, k=k,
+                   relres_update=relres_u, relres_rebuild=relres_r,
+                   patch_launches=packs,
+                   k_refactored=stats["k_refactored"],
+                   dirty_fraction=round(upd.dirty_fraction, 4))
+        if min_speedup is not None and k <= 16:
+            assert row["speedup"] >= min_speedup, (
+                f"k={k} update speedup {row['speedup']} below {min_speedup}x"
+            )
+        rows[f"incremental_update_k{k}"] = row
+    return rows
+
+
+def bench_incremental_downdate(n, k=16, tol=1e-8, leaf_size=64,
+                               min_speedup=None):
+    """The PR-10 delete row: k-point downdate (no kernel evaluation at all)
+    + plan patch vs rebuilding construction + factorization on the
+    surviving points."""
+    from repro import ClusterTree, build_hodlr, remove_points
+
+    rng = np.random.default_rng(1)
+    x = np.sort(rng.uniform(0.0, 1.0, n))
+    start = n // 3  # leaf interior — see bench_incremental_update
+    where = np.arange(start, start + k)
+    ent = _gauss1d_entries(x)
+    ent_small = _gauss1d_entries(np.delete(x, where))
+    tree = ClusterTree.balanced(n, leaf_size=leaf_size)
+    H = build_hodlr(ent, tree, tol=tol, method="rook")
+
+    # untimed probe/warmup pass (mirrors bench_incremental_update)
+    probe = HODLRSolver(H, variant="batched").factorize()
+    upd_p = remove_points(probe.hodlr, where, tol=tol)
+    probe.patch_factorize(upd_p.matrix, upd_p.dirty_nodes)
+    del probe, upd_p
+
+    def run_update(s):
+        upd = remove_points(H, where, tol=tol)
+        s.patch_factorize(upd.matrix, upd.dirty_nodes)
+        return upd
+
+    def run_rebuild():
+        tree_new = ClusterTree.balanced(n - k, leaf_size=leaf_size)
+        Hs = build_hodlr(ent_small, tree_new, tol=tol, method="rook")
+        return HODLRSolver(Hs, variant="batched").factorize()
+
+    # best-of-2 single-shot pairs with fresh update-side state per repeat
+    # (see bench_incremental_update)
+    tu = tb = float("inf")
+    for _ in range(2):
+        s_i = HODLRSolver(H, variant="batched").factorize()
+        t_i, u_i = _timed(lambda: run_update(s_i))
+        if t_i < tu:
+            tu, upd, solver = t_i, u_i, s_i
+        t_i, f_i = _timed(run_rebuild)
+        if t_i < tb:
+            tb, fresh = t_i, f_i
+    n_small = n - k
+    b = rng.standard_normal(n_small)
+    bnorm = np.linalg.norm(b)
+    relres_u = float(np.linalg.norm(
+        _exact_matvec(ent_small, n_small, solver.solve(b)) - b) / bnorm)
+    relres_r = float(np.linalg.norm(
+        _exact_matvec(ent_small, n_small, fresh.solve(b)) - b) / bnorm)
+    assert relres_u < 10 * max(relres_r, 1e-12), (
+        f"downdate residual {relres_u:.2e} worse than rebuild {relres_r:.2e}"
+    )
+    row = _row(f"incremental_downdate_k{k}", tu, tb, fast_label="update",
+               slow_label="rebuild", n=n, k=k,
+               relres_update=relres_u, relres_rebuild=relres_r,
+               k_refactored=solver.factor_plan.last_patch_stats["k_refactored"],
+               dirty_fraction=round(upd.dirty_fraction, 4))
+    if min_speedup is not None:
+        assert row["speedup"] >= min_speedup, (
+            f"downdate speedup {row['speedup']} below {min_speedup}x"
         )
     return row
 
@@ -652,11 +855,56 @@ def collect_counters(n=2048, tol=1e-8, leaf_size=64):
         "parallel_factor_flops": tr_pfac.total_flops,
         "parallel_solve_plan_launches": tr_psol.num_plan_launches,
     }
+    counters.update(collect_update_counters())
     counters.update(collect_cache_counters())
     print(f"  {'counters_probe':<38s} n={n}  launches/solve "
           f"{counters['launches_per_solve']}  factor launches "
           f"{counters['factor_launches']}  construction launches "
           f"{counters['construction_launches']}")
+    return counters
+
+
+def collect_update_counters(n=2048, k=4, tol=1e-8, leaf_size=64):
+    """Deterministic plan-patch counters of a fixed-size streaming update.
+
+    An SVD-compressed 1-D Gaussian probe absorbs a fixed ``k``-point
+    contiguous removal; the factor-plan patch and apply-plan patch each
+    record how many shape buckets they re-packed vs reused.  All values
+    are launch/bucket counts of a sampling-free probe, so the perf gate
+    can diff them: a regression that silently widens the dirty set (or
+    stops reusing clean buckets) shifts these counts.
+    """
+    from repro import ClusterTree, build_hodlr, remove_points
+
+    rng = np.random.default_rng(2)
+    x = np.sort(rng.uniform(0.0, 1.0, n))
+    start = (n - k) // 2
+    where = np.arange(start, start + k)
+    tree = ClusterTree.balanced(n, leaf_size=leaf_size)
+    H = build_hodlr(_gauss1d_entries(x), tree, tol=tol, method="svd")
+    solver = HODLRSolver(H, variant="batched").factorize()
+    apply_plan = H.build_apply_plan(force=True)
+    upd = remove_points(H, where, tol=tol)
+    rec = get_recorder()
+    with rec.recording() as tr_patch:
+        solver.patch_factorize(upd.matrix, upd.dirty_nodes)
+    patched_plan = apply_plan.patch(upd.matrix, upd.dirty_nodes)
+    fstats = solver.factor_plan.last_patch_stats
+    astats = patched_plan.last_patch_stats
+    counters = {
+        "update_patch_launches": sum(
+            1 for e in tr_patch.events if e.kernel == "factor_patch_bucket"
+        ),
+        "update_refactored_systems": fstats["k_refactored"],
+        "update_replay_groups": fstats["replay_groups"],
+        "update_apply_buckets_repacked": astats["buckets_repacked"],
+        "update_apply_buckets_reused": astats["buckets_reused"],
+    }
+    print(f"  {'update_patch_probe':<38s} n={n} k={k}  patch launches "
+          f"{counters['update_patch_launches']}  refactored "
+          f"{counters['update_refactored_systems']}  apply repack/reuse "
+          f"{counters['update_apply_buckets_repacked']}/"
+          f"{counters['update_apply_buckets_reused']}")
     return counters
 
 
@@ -727,7 +975,7 @@ def main(argv=None):
     sweep_points = 4 if args.smoke else 16
     rpy_particles = 96 if args.smoke else 400
     out_path = args.output or os.path.join(
-        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr9.json"
+        REPO_ROOT, "BENCH_smoke.json" if args.smoke else "BENCH_pr10.json"
     )
     # the PR-9 wall-clock floors only make sense with real concurrency:
     # correctness gates always run, speedup floors need >= 4 cores
@@ -761,6 +1009,15 @@ def main(argv=None):
     benchmarks["helmholtz_sweep"] = bench_param_sweep(
         n_sweep, points=sweep_points, min_speedup=None if args.smoke else 2.0
     )
+    # the PR-10 acceptance rows: k-point streaming insert/delete (factored
+    # bordering + prefix-replay plan patch) vs a full rebuild at equal
+    # exact residual — >= 5x at k <= 16, N=16384 on the full run
+    benchmarks.update(bench_incremental_update(
+        n_solve, ks=(1, 16, 256), min_speedup=None if args.smoke else 5.0
+    ))
+    benchmarks["incremental_downdate_k16"] = bench_incremental_downdate(
+        n_solve, k=16, min_speedup=None if args.smoke else 5.0
+    )
     # the PR-9 acceptance rows: thread-pooled execution vs bit-identical
     # serial — 1e-12 agreement and equal launch/flop counters gate every
     # host; the >= 1.5x (solve) / >= 2x (8-step sweep) floors only apply
@@ -791,18 +1048,18 @@ def main(argv=None):
 
     payload = {
         "meta": {
-            "pr": 9,
+            "pr": 10,
             "smoke": bool(args.smoke),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
-            "description": "parallel execution engine: thread-pooled solve "
-                           "and all-independent-steps sweep vs bit-identical "
-                           "serial (1e-12 agreement, equal launch/flop "
-                           "counters; speedup floors gated on >= 4 cores), "
-                           "plus forced-pool counter keys, alongside the "
-                           "PR-3..8 trajectory",
+            "description": "streaming updates: k-point insert/delete via "
+                           "factored bordering + prefix-replay plan patching "
+                           "vs full rebuilds (>= 5x at k <= 16, N=16384, "
+                           "equal exact residual), plus deterministic "
+                           "patch-launch counter keys, alongside the "
+                           "PR-3..9 trajectory",
         },
         "benchmarks": benchmarks,
         "counters": counters,

@@ -74,6 +74,13 @@ from .core.spd import SymmetricFactorization
 from .core.preconditioner import HODLRPreconditioner, gmres_with_hodlr, cg_with_hodlr
 from .core import arithmetic
 from .core.peeling import peel_hodlr
+from .core.update import (
+    HODLRUpdate,
+    PatchUnsupportedError,
+    move_points,
+    remove_points,
+    update_points,
+)
 
 from .backends.batched import BatchedBackend
 from .backends.context import ExecutionContext, PrecisionPolicy, resolve_context
@@ -157,6 +164,7 @@ from .api import (
     solve,
     solve_many,
     solve_portfolio,
+    update_operator,
 )
 from .api.krylov import cg_solve, gmres_solve
 
@@ -168,6 +176,7 @@ __all__ = [
     "solve",
     "solve_many",
     "build_operator",
+    "update_operator",
     "SolverConfig",
     "SolveResult",
     "HODLROperator",
@@ -226,6 +235,11 @@ __all__ = [
     "cg_with_hodlr",
     "arithmetic",
     "peel_hodlr",
+    "HODLRUpdate",
+    "PatchUnsupportedError",
+    "update_points",
+    "remove_points",
+    "move_points",
     # backends
     "ArrayBackend",
     "BatchPlanner",

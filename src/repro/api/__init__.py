@@ -60,7 +60,14 @@ from .cache import (
     operator_cache_enabled,
 )
 from . import problems  # noqa: F401  (registers the built-in problem adapters)
-from .facade import SolveResult, assemble, build_operator, solve, solve_many
+from .facade import (
+    SolveResult,
+    assemble,
+    build_operator,
+    solve,
+    solve_many,
+    update_operator,
+)
 from .portfolio import solve_portfolio
 from .sweep import SweepResult, SweepStep, SweepWorkspace, run_sweep
 
@@ -90,6 +97,7 @@ __all__ = [
     "build_operator",
     "solve",
     "solve_many",
+    "update_operator",
     "CacheStats",
     "OperatorCache",
     "cache_stats",

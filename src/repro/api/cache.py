@@ -240,6 +240,31 @@ class OperatorCache:
                 self._store.popitem(last=False)
                 self.stats.evictions += 1
 
+    def invalidate(
+        self, operator: Any = None, fingerprint: Optional[Hashable] = None
+    ) -> int:
+        """Drop entries referencing ``operator`` and/or keyed by ``fingerprint``.
+
+        A streamed update (:func:`repro.update_operator`) mutates an
+        operator in place, so any cache entry holding it describes a
+        problem the operator no longer solves — those entries must go.
+        Returns the number of entries evicted (counted in
+        ``stats.evictions``).
+        """
+        dropped = 0
+        with self._lock:
+            for key in list(self._store):
+                fp, _ = key
+                value = self._store[key]
+                held = value[1] if isinstance(value, tuple) and len(value) == 2 else value
+                if (operator is not None and held is operator) or (
+                    fingerprint is not None and fp == fingerprint
+                ):
+                    del self._store[key]
+                    dropped += 1
+            self.stats.evictions += dropped
+        return dropped
+
     def clear(self, reset_stats: bool = False) -> None:
         with self._lock:
             self._store.clear()

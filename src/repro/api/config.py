@@ -57,8 +57,10 @@ COMPRESSION_METHODS = ("svd", "rook", "randomized", "proxy")
 #: :func:`repro.core.solver.register_solver_variant`
 VARIANTS = ("recursive", "flat", "batched")
 
-#: HODLR construction schedules (level-major batched vs per-block loop)
-CONSTRUCTION_MODES = ("batched", "loop")
+#: HODLR construction schedules: level-major batched, per-block loop, or
+#: matvec-only randomized peeling (no entry evaluation — see
+#: :func:`repro.core.peeling.peel_hodlr`)
+CONSTRUCTION_MODES = ("batched", "loop", "peeling")
 
 #: policy tuning modes: ``"default"`` uses the hard-coded crossover
 #: constants; ``"auto"`` derives them from the host's calibrated

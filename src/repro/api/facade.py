@@ -28,6 +28,7 @@ solves) rather than one solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Any, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -115,6 +116,7 @@ def _resolve_problem(
     problem_params: dict,
     tuning: Optional[str] = None,
     parallel: Optional[Any] = None,
+    construction: Optional[str] = None,
 ) -> Tuple[Any, SolverConfig]:
     """Instantiate a named problem and settle the effective config.
 
@@ -136,6 +138,10 @@ def _resolve_problem(
         config = config.replace(tuning=tuning)
     if parallel is not None and parallel != config.parallel:
         config = config.replace(parallel=parallel)
+    if construction is not None and construction != config.compression.construction:
+        config = config.replace(
+            compression=config.compression.replace(construction=construction)
+        )
     return problem, config
 
 
@@ -164,8 +170,18 @@ def assemble(
         if comp.method == "proxy":
             raise ConfigError("method='proxy' needs a BIE operator, not a dense matrix")
         tree = ClusterTree.balanced(A.shape[0], leaf_size=comp.leaf_size)
+        if comp.construction == "peeling":
+            # matvec-only construction: probe the operator instead of reading
+            # entries (exercises the same path a matrix-free source would)
+            source: Any = SimpleNamespace(
+                matvec=lambda x, _A=A: _A @ x,
+                rmatvec=lambda x, _A=A: _A.conj().T @ x,
+                dtype=A.dtype,
+            )
+        else:
+            source = A
         hodlr = build_hodlr(
-            A, tree, config=comp.core_config(), context=config.construction_context()
+            source, tree, config=comp.core_config(), context=config.construction_context()
         )
         return AssembledProblem(
             name="dense", hodlr=hodlr, operator=lambda x, _A=A: _A @ x
@@ -201,6 +217,7 @@ def _cached_build(
     tuning: Optional[str],
     cache: CacheLike,
     parallel: Optional[Any] = None,
+    construction: Optional[str] = None,
 ) -> Tuple[AssembledProblem, HODLROperator, SolverConfig]:
     """Shared assemble+factorize path of :func:`solve`/:func:`build_operator`.
 
@@ -216,7 +233,9 @@ def _cached_build(
         if cache_obj is not None
         else None
     )
-    problem, cfg = _resolve_problem(problem, config, problem_params, tuning, parallel)
+    problem, cfg = _resolve_problem(
+        problem, config, problem_params, tuning, parallel, construction
+    )
     if fp is not None:
         cached = cache_obj.get(fp, cfg)
         if cached is not None:
@@ -255,6 +274,7 @@ def build_operator(
     tuning: Optional[str] = None,
     cache: CacheLike = None,
     parallel: Optional[Any] = None,
+    construction: Optional[str] = None,
     **problem_params: Any,
 ) -> HODLROperator:
     """Assemble ``problem`` and wrap it as a lazy :class:`HODLROperator`.
@@ -275,10 +295,62 @@ def build_operator(
     (``"off"``, ``"auto"``, a worker count, or a
     :class:`~repro.backends.parallel.ParallelPolicy`) — see
     :mod:`repro.backends.parallel`.
+
+    ``construction=`` overrides the compression config's construction
+    schedule: ``"batched"`` (default), ``"loop"``, or ``"peeling"`` —
+    the latter builds the HODLR approximation from matvec probes alone
+    (a dense problem is wrapped as a matvec source; cap the sampled rank
+    with ``config.compression.max_rank``).
     """
     _, operator, _ = _cached_build(
-        problem, config, problem_params, tuning, cache, parallel
+        problem, config, problem_params, tuning, cache, parallel, construction
     )
+    return operator
+
+
+def update_operator(
+    operator: HODLROperator,
+    *,
+    source: Any = None,
+    points_added: Optional[np.ndarray] = None,
+    points_removed: Optional[np.ndarray] = None,
+    points_moved: Optional[np.ndarray] = None,
+    diag_shift: Any = None,
+    low_rank: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    rebuild_threshold: float = 0.25,
+) -> HODLROperator:
+    """Stream an incremental change into an existing operator.
+
+    Thin facade over :meth:`HODLROperator.update`: the operator's HODLR
+    matrix absorbs the change incrementally (only the O(log N) dirty
+    blocks are recompressed), and when the dirty fraction stays below
+    ``rebuild_threshold`` the retained factorization and apply plans are
+    *patched* instead of rebuilt — kernel launches scale with the dirty
+    shape buckets.  ``operator.last_update_info`` reports which path ran
+    (``"patch"`` / ``"rebuild"`` / ``"deferred"``) and the dirty-block
+    accounting.
+
+    The operator is mutated **in place** (it keeps acting in the caller's
+    ordering; inserted points take the appended caller indices
+    ``n, ..., n+k-1``), and any process-wide operator-cache entries
+    referencing it are invalidated — a cached ``(problem, config)`` key
+    must not resolve to an operator that no longer matches the problem.
+    """
+    operator.update(
+        source=source,
+        points_added=points_added,
+        points_removed=points_removed,
+        points_moved=points_moved,
+        diag_shift=diag_shift,
+        low_rank=low_rank,
+        tol=tol,
+        max_rank=max_rank,
+        rebuild_threshold=rebuild_threshold,
+    )
+    # entries persist while caching is disabled, so invalidate unconditionally
+    operator_cache().invalidate(operator=operator)
     return operator
 
 

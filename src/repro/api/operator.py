@@ -95,6 +95,8 @@ class HODLROperator(LinearOperator):
         self._solver: Optional[HODLRSolver] = None
         self._plan: Optional[ApplyPlan] = None
         self._context: Optional[ExecutionContext] = None
+        #: which path the most recent :meth:`update` ran (``None`` before one)
+        self.last_update_info: Optional[Dict[str, Any]] = None
         configured = config.numpy_dtype
         self._factor_dtype = np.dtype(
             configured if configured is not None else hodlr.dtype
@@ -202,6 +204,245 @@ class HODLROperator(LinearOperator):
             # keep the two storage-dtype spellings consistent
             changes["precision"] = dc_replace(self.config.precision, storage=name)
         return HODLROperator(self._base, self.config.replace(**changes), perm=self._perm)
+
+    # ------------------------------------------------------------------
+    # streaming updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        *,
+        source: Any = None,
+        points_added: Optional[np.ndarray] = None,
+        points_removed: Optional[np.ndarray] = None,
+        points_moved: Optional[np.ndarray] = None,
+        diag_shift: Any = None,
+        low_rank: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        tol: float = 1e-12,
+        max_rank: Optional[int] = None,
+        rebuild_threshold: float = 0.25,
+    ) -> "HODLROperator":
+        """Apply a streaming update to the operator **in place**.
+
+        A k-point change touches only the O(log N) tree blocks whose
+        row/column ranges intersect the changed indices, so instead of
+        rebuilding, the operator updates its HODLR matrix incrementally
+        (:mod:`repro.core.update`) and — when the dirty fraction is at most
+        ``rebuild_threshold`` — *patches* its retained factorization and
+        apply plans (:meth:`~repro.core.solver.HODLRSolver.patch_factorize`,
+        :meth:`~repro.core.apply_plan.ApplyPlan.patch`): kernel launches
+        scale with the dirty shape buckets, not the total bucket count.
+        Above the threshold (or when a change touches every block) the
+        stale factorization is dropped and rebuilt lazily on the next
+        solve.  Which path ran is reported in :attr:`last_update_info`.
+
+        Parameters
+        ----------
+        points_removed:
+            Caller-ordering indices to delete (internal indices when the
+            operator carries no ``perm``).  No entry evaluation happens.
+        points_added:
+            Sorted insertion positions *in the internal (cluster-tree)
+            ordering of the updated matrix* — identical to the caller
+            ordering when ``perm is None``.  Requires ``source``.  When a
+            ``perm`` is carried, the inserted points take the caller
+            indices ``n, ..., n+k-1`` (appended), in ``points_added``
+            order.
+        points_moved:
+            Caller-ordering indices whose rows *and* columns must be
+            re-evaluated in place.  Requires ``source``.
+        source:
+            Entry evaluator ``entries(rows, cols)`` (or an object with
+            ``.entries``, e.g. a :class:`~repro.kernels.kernel_matrix.
+            KernelMatrix` over the updated point set) in the **caller**
+            ordering of the updated operator.  Only O(k N) entries are
+            evaluated.
+        diag_shift:
+            Scalar or caller-ordering length-``n`` vector added to the
+            diagonal.  Leaf diagonal blocks change in place; the apply
+            plan is patched cheaply, the factorization rebuilds.
+        low_rank:
+            A global rank-k update ``(X, Y)`` meaning ``A + X Y^*``
+            (caller ordering).  Touches every block, so the factorization
+            rebuilds.
+        tol, max_rank:
+            Recompression tolerance / rank cap for dirty blocks.
+        rebuild_threshold:
+            Dirty-block fraction above which patching is not worth it and
+            a full (lazy) rebuild is scheduled instead.
+        """
+        from ..core import arithmetic
+        from ..core.hodlr import _resolve_evaluator
+        from ..core.update import (
+            PatchUnsupportedError,
+            dirty_block_counts,
+            move_points,
+            remove_points,
+            update_points,
+        )
+
+        if all(
+            v is None
+            for v in (points_added, points_removed, points_moved, diag_shift, low_rank)
+        ):
+            raise ValueError(
+                "update() needs at least one of points_added=, points_removed=, "
+                "points_moved=, diag_shift=, low_rank="
+            )
+        ctx = self.context
+        base = self._base
+        old_dtype = np.dtype(base.dtype)
+        perm = self._perm
+        dirty: set = set()
+        kinds = []
+
+        def _wrap(src, p):
+            """Conjugate a caller-ordering evaluator into the internal one."""
+            if src is None:
+                raise ValueError(
+                    "points_added/points_moved require source= (an entry "
+                    "evaluator over the updated caller ordering)"
+                )
+            entries, _ = _resolve_evaluator(src)
+            if p is None:
+                return entries
+
+            def wrapped(rows, cols, _e=entries, _p=np.asarray(p)):
+                return _e(
+                    _p[np.asarray(rows, dtype=np.intp)],
+                    _p[np.asarray(cols, dtype=np.intp)],
+                )
+
+            return wrapped
+
+        if points_removed is not None:
+            rem = np.unique(np.asarray(points_removed, dtype=np.intp).ravel())
+            internal = (
+                rem if perm is None else np.flatnonzero(np.isin(perm, rem))
+            )
+            upd = remove_points(base, internal, tol=tol, max_rank=max_rank, context=ctx)
+            if perm is not None:
+                surv = upd.old_to_new >= 0
+                # surviving caller indices compact over the removed ones
+                compact = perm - np.searchsorted(rem, perm, side="left")
+                new_perm = np.empty(upd.matrix.n, dtype=np.intp)
+                new_perm[upd.old_to_new[surv]] = compact[surv]
+                perm = new_perm
+            base = upd.matrix
+            dirty |= set(upd.dirty_nodes)
+            kinds.append("remove")
+
+        if points_added is not None:
+            where = np.unique(np.asarray(points_added, dtype=np.intp).ravel())
+            k = int(where.size)
+            if perm is not None:
+                n_caller = base.n
+                keep = np.ones(base.n + k, dtype=bool)
+                keep[where] = False
+                new_perm = np.empty(base.n + k, dtype=np.intp)
+                new_perm[np.flatnonzero(keep)] = perm
+                new_perm[where] = n_caller + np.arange(k, dtype=np.intp)
+                src = _wrap(source, new_perm)
+                perm = new_perm
+            else:
+                src = _wrap(source, None)
+            upd = update_points(base, src, where, tol=tol, max_rank=max_rank, context=ctx)
+            base = upd.matrix
+            dirty |= set(upd.dirty_nodes)
+            kinds.append("insert")
+
+        if points_moved is not None:
+            mv = np.unique(np.asarray(points_moved, dtype=np.intp).ravel())
+            internal = mv if perm is None else np.flatnonzero(np.isin(perm, mv))
+            upd = move_points(
+                base, _wrap(source, perm), internal, tol=tol, max_rank=max_rank, context=ctx
+            )
+            base = upd.matrix
+            dirty |= set(upd.dirty_nodes)
+            kinds.append("move")
+
+        if diag_shift is not None:
+            d = diag_shift
+            if not np.isscalar(d):
+                d = np.asarray(d)
+                if perm is not None:
+                    d = d[perm]
+            base = arithmetic.add_diagonal(base, d, context=ctx)
+            dirty |= {leaf.index for leaf in base.tree.leaves}
+            kinds.append("diag_shift")
+
+        if low_rank is not None:
+            X, Y = low_rank
+            X = np.asarray(X)
+            Y = np.asarray(Y)
+            if X.ndim == 1:
+                X = X.reshape(-1, 1)
+            if Y.ndim == 1:
+                Y = Y.reshape(-1, 1)
+            if perm is not None:
+                X = X[perm]
+                Y = Y[perm]
+            base = arithmetic.add_low_rank_update(
+                base, X, Y, tol=tol, max_rank=max_rank, context=ctx
+            )
+            dirty |= {node.index for node in base.tree}
+            kinds.append("low_rank")
+
+        dirty_f = frozenset(dirty)
+        db, tb = dirty_block_counts(base.tree, dirty_f)
+        frac = db / tb if tb else 0.0
+
+        self._base = base
+        self._perm = perm
+        self._cast = None
+        self.shape = (base.n, base.n)
+        if np.dtype(base.dtype) != old_dtype:
+            # e.g. a complex low-rank term on a real operator: promote and
+            # rebuild everything at the widened dtype
+            self._invalidate(np.result_type(self._factor_dtype, base.dtype))
+
+        factor_path = "deferred"
+        patch_stats = None
+        if self._solver is not None:
+            if frac <= rebuild_threshold:
+                try:
+                    target = self._solver.hodlr.dtype
+                    self._solver.patch_factorize(
+                        base if np.dtype(base.dtype) == np.dtype(target) else base.astype(target),
+                        dirty_f,
+                    )
+                    factor_path = "patch"
+                    fp = self._solver.factor_plan
+                    patch_stats = getattr(fp, "last_patch_stats", None)
+                except PatchUnsupportedError:
+                    self._solver = None
+                    factor_path = "rebuild"
+            else:
+                self._solver = None
+                factor_path = "rebuild"
+
+        plan_path = "none"
+        if self._plan is not None:
+            if frac <= rebuild_threshold:
+                try:
+                    self._plan = self._plan.patch(self._current_hodlr(), dirty_f)
+                    plan_path = "patch"
+                except PatchUnsupportedError:
+                    self._plan = None
+                    plan_path = "rebuild"
+            else:
+                self._plan = None
+                plan_path = "rebuild"
+
+        self.last_update_info = {
+            "kinds": tuple(kinds),
+            "path": factor_path,
+            "plan_path": plan_path,
+            "dirty_blocks": db,
+            "total_blocks": tb,
+            "dirty_fraction": frac,
+            "patch_stats": patch_stats,
+        }
+        return self
 
     # ------------------------------------------------------------------
     # LinearOperator interface: the forward operator A (caller ordering)

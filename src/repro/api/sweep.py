@@ -467,6 +467,8 @@ class SweepWorkspace:
             num_blocks=len(self._blocks),
             seconds={
                 "eval": eval_seconds,
+                "update": 0.0,
+                "rebuild": 0.0,
                 "factorize": factor_seconds,
                 "solve": solve_seconds,
                 "total": time.perf_counter() - t_start,
@@ -474,6 +476,185 @@ class SweepWorkspace:
             max_rank=max(ranks) if ranks else 0,
             stats=operator.stats,
             operator=operator if keep_operator else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# streaming geometry steps
+# ----------------------------------------------------------------------
+#: override keys routed through the streaming-update path instead of a
+#: full per-step rebuild
+_UPDATE_KEYS = frozenset({"points_added", "points_removed", "rhs_added"})
+
+
+class _GeometryChain:
+    """Thread geometry steps of a sweep through the streaming-update path.
+
+    Overrides spelled ``{"points_added": coords}`` / ``{"points_removed":
+    indices}`` change the *geometry*, which the skeleton workspace cannot
+    recycle — but a k-point change touches only the O(log N) dirty tree
+    blocks, so instead of the full-rebuild fallback each such step now
+    updates one persistent :class:`HODLROperator` in place
+    (:func:`repro.update_operator` semantics): dirty blocks recompress
+    incrementally and the retained factorization is *patched* when the
+    dirty fraction allows (``recycled: True`` in the trace, with the
+    ``update``/``rebuild`` seconds split recording which path ran).
+
+    Inserted points are placed in the cluster tree next to their nearest
+    existing point; their right-hand-side entries come from the override's
+    ``rhs_added`` (zeros when absent).  Removed points name caller-ordering
+    indices into the *current* point set, and shrink the right-hand side
+    accordingly.  Steps are stateful and therefore run serially, in order.
+    """
+
+    def __init__(self, problem: Any, config: SolverConfig, rhs: Optional[np.ndarray]) -> None:
+        from .facade import assemble
+
+        t0 = time.perf_counter()
+        assembled = assemble(problem, config)
+        km = assembled.metadata.get("kernel_matrix")
+        if not isinstance(km, KernelMatrix) or not hasattr(km.kernel, "profile"):
+            raise TypeError(
+                "geometry update steps need a kernel-matrix problem whose "
+                "kernel exposes a radial profile"
+            )
+        self.config = config
+        self.profile = km.kernel.profile
+        self.shift = float(km.diagonal_shift)
+        self.points = np.asarray(km.points)  # caller ordering, (n, d)
+        self.tol = float(config.compression.tol)
+        self.operator = HODLROperator(
+            assembled.hodlr, config, perm=assembled.perm
+        ).factorize()
+        b = rhs if rhs is not None else assembled.rhs
+        self.rhs = None if b is None else np.asarray(b).copy()
+        #: anchor assembly+factorization cost, charged to the first step
+        self._pending_build = time.perf_counter() - t0
+
+    def _entries_for(self, pts: np.ndarray):
+        """Caller-ordering entry evaluator over the point set ``pts``."""
+
+        def entries(rows, cols, _pts=pts):
+            rows = np.asarray(rows, dtype=np.intp)
+            cols = np.asarray(cols, dtype=np.intp)
+            A = self.profile(pairwise_distances(_pts[rows], _pts[cols]))
+            if self.shift:
+                A = A + self.shift * (rows.reshape(-1, 1) == cols.reshape(1, -1))
+            return A
+
+        return entries
+
+    def step(
+        self,
+        overrides: Mapping[str, Any],
+        *,
+        compute_residual: bool = True,
+        keep_operator: bool = True,
+    ) -> SweepStep:
+        t_start = time.perf_counter()
+        # the anchor assembly+factorization is charged to the first step's
+        # rebuild share (and its total), like _config_sweep's accounting
+        pending_build = self._pending_build
+        self._pending_build = 0.0
+        op = self.operator
+        update_seconds = 0.0
+        info: Dict[str, Any] = {}
+        params: Dict[str, Any] = {}
+
+        removed = overrides.get("points_removed")
+        if removed is not None:
+            removed = np.unique(np.asarray(removed, dtype=np.intp).ravel())
+            params["points_removed"] = int(removed.size)
+            if removed.size:
+                t0 = time.perf_counter()
+                op.update(points_removed=removed, tol=self.tol)
+                update_seconds += time.perf_counter() - t0
+                info = op.last_update_info or {}
+                self.points = np.delete(self.points, removed, axis=0)
+                if self.rhs is not None:
+                    self.rhs = np.delete(self.rhs, removed, axis=0)
+
+        added = overrides.get("points_added")
+        if added is not None:
+            add_pts = np.asarray(added, dtype=float)
+            if add_pts.ndim == 1:
+                add_pts = add_pts.reshape(-1, self.points.shape[1])
+            k = add_pts.shape[0]
+            params["points_added"] = int(k)
+            if k:
+                t0 = time.perf_counter()
+                perm = op.perm
+                internal_pts = self.points if perm is None else self.points[perm]
+                # place each new point next to its nearest existing one
+                anchor = np.argmin(
+                    pairwise_distances(add_pts, internal_pts), axis=1
+                ).astype(np.intp)
+                order = np.argsort(anchor, kind="stable")
+                where = anchor[order] + 1 + np.arange(k, dtype=np.intp)
+                add_sorted = add_pts[order]
+                extra = overrides.get("rhs_added")
+                if extra is None:
+                    extra = np.zeros(k, dtype=float)
+                else:
+                    extra = np.asarray(extra).ravel()[order]
+                if perm is None:
+                    # caller ordering == internal: points interleave in place
+                    pts_new = np.insert(self.points, anchor[order] + 1, add_sorted, axis=0)
+                    if self.rhs is not None:
+                        self.rhs = np.insert(self.rhs, anchor[order] + 1, extra, axis=0)
+                else:
+                    # perm carried: new points append to the caller ordering
+                    pts_new = np.concatenate([self.points, add_sorted], axis=0)
+                    if self.rhs is not None:
+                        self.rhs = np.concatenate([self.rhs, extra], axis=0)
+                op.update(
+                    points_added=where, source=self._entries_for(pts_new), tol=self.tol
+                )
+                update_seconds += time.perf_counter() - t0
+                info = op.last_update_info or {}
+                self.points = pts_new
+
+        # a dropped (above-threshold / unsupported) factorization rebuilds
+        # here, explicitly timed as the step's rebuild share
+        rebuild_seconds = pending_build
+        if not op.factored:
+            t0 = time.perf_counter()
+            op.factorize()
+            rebuild_seconds += time.perf_counter() - t0
+
+        b = self.rhs
+        if b is None:
+            raise ValueError(
+                "the swept problem provides no natural right-hand side; pass rhs="
+            )
+        t0 = time.perf_counter()
+        x = op.solve(b)
+        solve_seconds = time.perf_counter() - t0
+        relres: Optional[float] = None
+        if compute_residual:
+            r = b - (op @ x)
+            nb = float(np.linalg.norm(b))
+            relres = float(np.linalg.norm(r)) / nb if nb > 0 else float(np.linalg.norm(r))
+            op.solver.stats.relative_residual = relres
+        hodlr = op.hodlr
+        return SweepStep(
+            params=params,
+            x=x,
+            relative_residual=relres,
+            recycled=True,
+            fallback_blocks=0,
+            num_blocks=int(info.get("total_blocks", 0)),
+            seconds={
+                "eval": 0.0,
+                "update": update_seconds,
+                "rebuild": rebuild_seconds,
+                "factorize": 0.0,
+                "solve": solve_seconds,
+                "total": time.perf_counter() - t_start + pending_build,
+            },
+            max_rank=max((u.shape[1] for u in hodlr.U.values()), default=0),
+            stats=op.stats,
+            operator=op if keep_operator else None,
         )
 
 
@@ -496,6 +677,10 @@ def _full_solve_step(
         step_problem, rhs, config, compute_residual=bool(compute_residual)
     )
     total = time.perf_counter() - t0
+    # accounting: a fallback step *rebuilds* construction+factorization from
+    # scratch — report the split so trace rows compare against the recycled
+    # and streaming-update paths column for column
+    stats = result.stats
     return SweepStep(
         params=dict(params),
         x=result.x,
@@ -503,7 +688,14 @@ def _full_solve_step(
         recycled=False,
         fallback_blocks=0,
         num_blocks=0,
-        seconds={"eval": 0.0, "factorize": 0.0, "solve": 0.0, "total": total},
+        seconds={
+            "eval": 0.0,
+            "update": 0.0,
+            "rebuild": total - stats.last_solve_seconds,
+            "factorize": stats.factor_seconds,
+            "solve": stats.last_solve_seconds,
+            "total": total,
+        },
         max_rank=max(
             (u.shape[1] for u in result.problem.hodlr.U.values()), default=0
         ),
@@ -579,6 +771,8 @@ def _config_sweep(
             num_blocks=0,
             seconds={
                 "eval": 0.0,
+                "update": 0.0,
+                "rebuild": 0.0 if recycled else assemble_seconds[key],
                 "factorize": factor_seconds,
                 "solve": solve_seconds,
                 "total": total,
@@ -693,8 +887,17 @@ def run_sweep(
 
     sweepable = tuple(getattr(problem_r, "sweep_params", ()) or ())
     has_spec = hasattr(problem_r, "kernel_spec") and dataclasses.is_dataclass(problem_r)
+    # geometry steps spelled as point insertions/removals route through the
+    # streaming-update path (a stateful chain, run serially in order)
+    updatable = [
+        bool(ov)
+        and set(ov) <= _UPDATE_KEYS
+        and ("points_added" in ov or "points_removed" in ov)
+        for ov in overrides
+    ]
     recyclable = [
-        has_spec and set(ov).issubset(sweepable) for ov in overrides
+        (not upd) and has_spec and set(ov).issubset(sweepable)
+        for ov, upd in zip(overrides, updatable)
     ]
 
     # non-incremental steps (full independent solves) fan out over the
@@ -703,7 +906,11 @@ def run_sweep(
     # their order is part of the algorithm, not an implementation detail
     slots: List[Optional[SweepStep]] = [None] * len(overrides)
     if policy is not None:
-        noninc = [i for i, ok in enumerate(recyclable) if not ok]
+        noninc = [
+            i
+            for i, ok in enumerate(recyclable)
+            if not ok and not updatable[i]
+        ]
         if noninc:
             full = run_tasks(
                 [
@@ -718,8 +925,18 @@ def run_sweep(
                 slots[i] = st
 
     workspace: Optional[SweepWorkspace] = None
+    chain: Optional[_GeometryChain] = None
     for pos, (ov, can_recycle) in enumerate(zip(overrides, recyclable)):
         if slots[pos] is not None:
+            continue
+        if updatable[pos]:
+            if chain is None:
+                chain = _GeometryChain(problem_r, cfg, rhs)
+            slots[pos] = chain.step(
+                ov,
+                compute_residual=compute_residual,
+                keep_operator=keep_operators,
+            )
             continue
         if not can_recycle:
             slots[pos] = _full_solve_step(

@@ -20,14 +20,23 @@ unchanged:
 
 Every operation returns a new :class:`~repro.core.hodlr.HODLRMatrix`; the
 inputs are never mutated.
+
+All array work routes through the :class:`~repro.backends.dispatch.
+ArrayBackend` of the resolved :class:`~repro.backends.context.
+ExecutionContext`, and the per-block recompressions of ``add`` /
+``add_low_rank_update`` run batched through
+:func:`~repro.core.compression.recompress_stack` — one QR/SVD launch per
+shape bucket instead of one per block.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backends.context import ExecutionContext, resolve_context
+from .compression import recompress_stack
 from .hodlr import HODLRMatrix
 from .low_rank import LowRankFactor
 
@@ -44,38 +53,72 @@ def _check_same_tree(a: HODLRMatrix, b: HODLRMatrix) -> None:
             raise ValueError("HODLR operands have different leaf partitions")
 
 
+def _scatter_factors(
+    pending: List[LowRankFactor],
+    owners: List[Tuple[int, int]],
+    tol: Optional[float],
+    max_rank: Optional[int],
+    ctx: ExecutionContext,
+) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+    """Recompress the pending factors in one batched pass and scatter the
+    results back onto their ``(row node, col node)`` owners."""
+    U: Dict[int, np.ndarray] = {}
+    V: Dict[int, np.ndarray] = {}
+    for (ri, ci), factor in zip(
+        owners, recompress_stack(pending, tol=tol, max_rank=max_rank, context=ctx)
+    ):
+        U[ri] = factor.U
+        V[ci] = factor.V
+    return U, V
+
+
 def add(
     a: HODLRMatrix,
     b: HODLRMatrix,
     tol: Optional[float] = 1e-12,
     max_rank: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> HODLRMatrix:
     """Sum of two HODLR matrices defined on the same cluster tree.
 
     Off-diagonal blocks are summed by concatenating bases,
-    ``U = [U_a | U_b]`` and ``V = [V_a | V_b]``, followed by a
+    ``U = [U_a | U_b]`` and ``V = [V_a | V_b]``, followed by a batched
     recompression to ``tol`` so ranks do not grow unboundedly under
     repeated addition.
     """
     _check_same_tree(a, b)
+    ctx = resolve_context(context)
+    xb = ctx.backend
     tree = a.tree
     dtype = np.result_type(a.dtype, b.dtype)
 
     diag = {
-        leaf.index: np.asarray(a.diag[leaf.index], dtype=dtype)
-        + np.asarray(b.diag[leaf.index], dtype=dtype)
+        leaf.index: xb.asarray(a.diag[leaf.index]).astype(dtype)
+        + xb.asarray(b.diag[leaf.index]).astype(dtype)
         for leaf in tree.leaves
     }
-    U: Dict[int, np.ndarray] = {}
-    V: Dict[int, np.ndarray] = {}
+    pending: List[LowRankFactor] = []
+    owners: List[Tuple[int, int]] = []
     for level in range(1, tree.levels + 1):
         for left, right in tree.sibling_pairs(level):
             for row_node, col_node in ((left, right), (right, left)):
-                Ua = np.hstack([a.U[row_node.index], b.U[row_node.index]]).astype(dtype)
-                Vb = np.hstack([a.V[col_node.index], b.V[col_node.index]]).astype(dtype)
-                factor = LowRankFactor(U=Ua, V=Vb).recompress(tol=tol, max_rank=max_rank)
-                U[row_node.index] = factor.U
-                V[col_node.index] = factor.V
+                Ua = xb.concat(
+                    [
+                        xb.asarray(a.U[row_node.index]).astype(dtype),
+                        xb.asarray(b.U[row_node.index]).astype(dtype),
+                    ],
+                    axis=1,
+                )
+                Vb = xb.concat(
+                    [
+                        xb.asarray(a.V[col_node.index]).astype(dtype),
+                        xb.asarray(b.V[col_node.index]).astype(dtype),
+                    ],
+                    axis=1,
+                )
+                pending.append(LowRankFactor(U=Ua, V=Vb))
+                owners.append((row_node.index, col_node.index))
+    U, V = _scatter_factors(pending, owners, tol, max_rank, ctx)
     return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
 
 
@@ -88,17 +131,26 @@ def scale(a: HODLRMatrix, alpha: float) -> HODLRMatrix:
     return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
 
 
-def add_diagonal(a: HODLRMatrix, d) -> HODLRMatrix:
+def add_diagonal(
+    a: HODLRMatrix, d, context: Optional[ExecutionContext] = None
+) -> HODLRMatrix:
     """``A + diag(d)`` where ``d`` is a scalar or a length-``n`` vector."""
+    ctx = resolve_context(context)
+    xb = ctx.backend
     tree = a.tree
     n = tree.n
-    d_arr = np.full(n, d, dtype=a.dtype) if np.isscalar(d) else np.asarray(d)
+    if np.isscalar(d):
+        d_arr = xb.zeros((n,), dtype=a.dtype)
+        d_arr[:] = d
+    else:
+        d_arr = xb.asarray(d)
     if d_arr.shape != (n,):
         raise ValueError(f"diagonal has shape {d_arr.shape}, expected ({n},)")
     diag = {}
     for leaf in tree.leaves:
-        block = np.array(a.diag[leaf.index], copy=True)
-        block[np.arange(leaf.size), np.arange(leaf.size)] += d_arr[leaf.start : leaf.stop]
+        block = xb.asarray(a.diag[leaf.index]).copy()
+        ii = np.arange(leaf.size, dtype=np.intp)
+        block[ii, ii] += d_arr[leaf.start : leaf.stop]
         diag[leaf.index] = block
     return HODLRMatrix(
         tree=tree,
@@ -114,17 +166,24 @@ def add_low_rank_update(
     Y: np.ndarray,
     tol: Optional[float] = 1e-12,
     max_rank: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> HODLRMatrix:
     """``A + X Y^*`` for global skinny factors ``X (n x k)`` and ``Y (n x k)``.
 
     The global rank-``k`` update is scattered over the HODLR tessellation:
     each diagonal block receives its dense restriction, each off-diagonal
     block receives the corresponding row/column restriction of ``X`` and
-    ``Y`` appended to its bases (followed by recompression).
+    ``Y`` appended to its bases (followed by one batched recompression).
     """
+    ctx = resolve_context(context)
+    xb = ctx.backend
     tree = a.tree
-    X = np.atleast_2d(np.asarray(X))
-    Y = np.atleast_2d(np.asarray(Y))
+    X = xb.asarray(X)
+    Y = xb.asarray(Y)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if Y.ndim == 1:
+        Y = Y.reshape(-1, 1)
     if X.ndim == 2 and X.shape[0] == 1 and tree.n != 1:
         X = X.T
     if Y.ndim == 2 and Y.shape[0] == 1 and tree.n != 1:
@@ -136,21 +195,25 @@ def add_low_rank_update(
     diag = {}
     for leaf in tree.leaves:
         rows = slice(leaf.start, leaf.stop)
-        diag[leaf.index] = (
-            np.asarray(a.diag[leaf.index], dtype=dtype) + X[rows] @ Y[rows].conj().T
+        diag[leaf.index] = xb.asarray(a.diag[leaf.index]).astype(dtype) + xb.matmul(
+            X[rows], Y[rows].conj().T
         )
-    U: Dict[int, np.ndarray] = {}
-    V: Dict[int, np.ndarray] = {}
+    pending: List[LowRankFactor] = []
+    owners: List[Tuple[int, int]] = []
     for level in range(1, tree.levels + 1):
         for left, right in tree.sibling_pairs(level):
             for row_node, col_node in ((left, right), (right, left)):
                 rows = slice(row_node.start, row_node.stop)
                 cols = slice(col_node.start, col_node.stop)
-                Unew = np.hstack([a.U[row_node.index].astype(dtype), X[rows]])
-                Vnew = np.hstack([a.V[col_node.index].astype(dtype), Y[cols]])
-                factor = LowRankFactor(U=Unew, V=Vnew).recompress(tol=tol, max_rank=max_rank)
-                U[row_node.index] = factor.U
-                V[col_node.index] = factor.V
+                Unew = xb.concat(
+                    [xb.asarray(a.U[row_node.index]).astype(dtype), X[rows]], axis=1
+                )
+                Vnew = xb.concat(
+                    [xb.asarray(a.V[col_node.index]).astype(dtype), Y[cols]], axis=1
+                )
+                pending.append(LowRankFactor(U=Unew, V=Vnew))
+                owners.append((row_node.index, col_node.index))
+    U, V = _scatter_factors(pending, owners, tol, max_rank, ctx)
     return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
 
 
@@ -169,19 +232,24 @@ def transpose(a: HODLRMatrix) -> HODLRMatrix:
     return HODLRMatrix(tree=tree, diag=diag, U=U, V=V)
 
 
-def diagonal(a: HODLRMatrix) -> np.ndarray:
+def diagonal(
+    a: HODLRMatrix, context: Optional[ExecutionContext] = None
+) -> np.ndarray:
     """The main diagonal of the HODLR matrix (read off the leaf blocks)."""
-    out = np.empty(a.n, dtype=a.dtype)
+    ctx = resolve_context(context)
+    xb = ctx.backend
+    out = xb.zeros((a.n,), dtype=a.dtype)
     for leaf in a.tree.leaves:
-        out[leaf.start : leaf.stop] = np.diag(a.diag[leaf.index])
+        block = xb.asarray(a.diag[leaf.index])
+        ii = np.arange(leaf.size, dtype=np.intp)
+        out[leaf.start : leaf.stop] = block[ii, ii]
     return out
 
 
 def trace(a: HODLRMatrix) -> complex:
     """``trace(A)`` — the sum of the leaf-block diagonals."""
-    return complex(np.sum(diagonal(a))) if np.iscomplexobj(diagonal(a)) else float(
-        np.sum(diagonal(a))
-    )
+    d = diagonal(a)
+    return complex(np.sum(d)) if np.iscomplexobj(d) else float(np.sum(d))
 
 
 def matmul_dense(a: HODLRMatrix, B: np.ndarray) -> np.ndarray:

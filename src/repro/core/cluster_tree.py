@@ -108,6 +108,11 @@ class ClusterTree:
         self.levels = int(levels)
         # ranges[node_index] = (start, stop)
         self._ranges = {1: (0, self.n)}
+        # the tree is immutable after _build, so TreeNode instances and
+        # per-level node lists are shared via these caches (node() sits on
+        # the hot path of plan construction and patching)
+        self._nodes: dict = {}
+        self._levels_cache: dict = {}
         self._build(splits)
 
     # ------------------------------------------------------------------
@@ -208,11 +213,16 @@ class ClusterTree:
     # ------------------------------------------------------------------
     def node(self, index: int) -> TreeNode:
         """Return the node with level-order index ``index`` (root = 1)."""
+        cached = self._nodes.get(index)
+        if cached is not None:
+            return cached
         if index not in self._ranges:
             raise KeyError(f"node {index} not in a tree with {self.levels} levels")
-        level = int(np.floor(np.log2(index)))
+        level = int(index).bit_length() - 1
         start, stop = self._ranges[index]
-        return TreeNode(index=index, level=level, start=start, stop=stop)
+        nd = TreeNode(index=index, level=level, start=start, stop=stop)
+        self._nodes[index] = nd
+        return nd
 
     def level_indices(self, level: int) -> range:
         """Level-order indices of the nodes at ``level`` (there are 2**level)."""
@@ -221,7 +231,11 @@ class ClusterTree:
         return range(2 ** level, 2 ** (level + 1))
 
     def level_nodes(self, level: int) -> List[TreeNode]:
-        return [self.node(i) for i in self.level_indices(level)]
+        cached = self._levels_cache.get(level)
+        if cached is None:
+            cached = [self.node(i) for i in self.level_indices(level)]
+            self._levels_cache[level] = cached
+        return cached
 
     @property
     def root(self) -> TreeNode:

@@ -599,6 +599,136 @@ def compress_blocks_batched(
     raise ValueError(f"unknown compression method {config.method!r}")
 
 
+def recompress_stack(
+    factors: Sequence[LowRankFactor],
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    backend: Optional[ArrayBackend] = None,
+    policy: Optional[DispatchPolicy] = None,
+    context: Optional[ExecutionContext] = None,
+) -> List[LowRankFactor]:
+    """Batched QR+SVD recompression of many :class:`LowRankFactor` objects.
+
+    The factored-form companion of :func:`compress_block_stack`: factors
+    sharing a ``(m, n, rank)`` signature are packed into strided 3-D stacks
+    and re-orthogonalised with one ``qr_batched`` launch per side, one
+    strided gemm for the small cores, and one ``svd_batched`` for the
+    truncation — the per-block :meth:`LowRankFactor.recompress` loop becomes
+    O(shape buckets) kernel launches.  Truncation counts are applied per
+    block (ranks may differ after truncation).  This is the path the
+    streaming update/downdate engine sends its dirty concatenated factors
+    through.  ``policy.bucketing=False`` reproduces the per-block loop.
+    """
+    ctx = resolve_context(context, backend, policy)
+    pol, xb = ctx.policy, ctx.backend
+    if not factors:
+        return []
+    if not pol.bucketing:
+        return [f.recompress(tol=tol, max_rank=max_rank) for f in factors]
+    results: List[Optional[LowRankFactor]] = [None] * len(factors)
+    keys = []
+    for f in factors:
+        m, n = f.shape
+        keys.append((m, n, f.rank))
+    for bucket in plan_batch(keys).buckets:
+        idx = bucket.indices
+        m, n, r = bucket.key
+        if r == 0 or min(m, n) == 0:
+            for i in idx:
+                f = factors[i]
+                results[i] = LowRankFactor.zeros(f.shape[0], f.shape[1], f.dtype)
+            continue
+        if len(idx) == 1 or r == 1:
+            # a lone factor (or rank-1, where QR is trivial) gains nothing
+            # from the strided path
+            for i in idx:
+                results[i] = factors[i].recompress(tol=tol, max_rank=max_rank)
+            continue
+        U3 = xb.stack([xb.asarray(factors[i].U) for i in idx])
+        V3 = xb.stack([xb.asarray(factors[i].V) for i in idx])
+        Qu3, Ru3 = qr_batched(U3, backend=xb)
+        Qv3, Rv3 = qr_batched(V3, backend=xb)
+        core3 = gemm_strided_batched(
+            Ru3, xb.asarray(Rv3).conj().transpose(0, 2, 1), backend=xb
+        )
+        Uc3, s3, Vch3 = svd_batched(core3, backend=xb)
+        for j, i in enumerate(idx):
+            keep = _truncation_count(s3[j], tol, max_rank)
+            results[i] = LowRankFactor(
+                U=Qu3[j] @ (Uc3[j][:, :keep] * s3[j][:keep]),
+                V=Qv3[j] @ Vch3[j][:keep, :].conj().T,
+            )
+    return results  # type: ignore[return-value]
+
+
+def recompress_bordered(
+    dense: np.ndarray,
+    compact: np.ndarray,
+    ins: np.ndarray,
+    size: int,
+    dense_is_row_side: bool,
+    tol: float = 1e-12,
+    max_rank: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
+) -> LowRankFactor:
+    """Recompress a bordered factor whose *other* side is an identity border.
+
+    A localised insert borders a dirty block ``U V^H`` on one side with
+    dense new entries and on the other side with identity rows landing at
+    the inserted positions ``ins``: that side's full factor is
+    ``[scatter(compact) | e_ins]`` where ``scatter`` zero-fills the ``ins``
+    rows.  Because the identity border's rows are disjoint from the
+    surviving support, its columns are already orthonormal *and* orthogonal
+    to the scattered old basis — the structured side's QR is
+    ``Q = [scatter(Q_c) | e_ins]``, ``R = blockdiag(R_c, I)`` with
+    ``Q_c R_c = qr(compact)``.  Only the compact ``(size-k, r0)`` old basis
+    needs orthogonalising instead of the generic ``(size, r0+k)`` factor;
+    the dense side pays the full QR it needs anyway.  Mathematically
+    identical to :meth:`LowRankFactor.recompress` on the assembled factor.
+
+    ``dense_is_row_side=True`` means ``dense`` is the row-space (``U``)
+    factor of the block and the structured side is the column space;
+    ``False`` is the mirror image.
+    """
+    ctx = resolve_context(context)
+    xb = ctx.backend
+    k = int(len(ins))
+    r0 = compact.shape[1]
+    dtype = dense.dtype
+    Qd3, Rd3 = qr_batched(xb.asarray(dense)[None], backend=xb)
+    Qd, Rd = Qd3[0], Rd3[0]
+    if r0:
+        Qc3, Rc3 = qr_batched(xb.asarray(compact)[None], backend=xb)
+        Qc, Rc = Qc3[0], Rc3[0]
+    else:
+        Qc = xb.zeros((size - k, 0), dtype=dtype)
+        Rc = xb.zeros((0, 0), dtype=dtype)
+    if dense_is_row_side:
+        # core = R_dense @ blockdiag(R_c, I)^H
+        core = np.concatenate([Rd[:, :r0] @ Rc.conj().T, Rd[:, r0:]], axis=1)
+    else:
+        # core = blockdiag(R_c, I) @ R_dense^H
+        core = np.concatenate(
+            [Rc @ Rd[:, :r0].conj().T, Rd[:, r0:].conj().T], axis=0
+        )
+    Uc3, s3, Vch3 = svd_batched(core[None], backend=xb)
+    Uc, s, Vch = Uc3[0], s3[0], Vch3[0]
+    keep = _truncation_count(s, tol, max_rank)
+    surv = np.ones(size, dtype=bool)
+    surv[ins] = False
+    if dense_is_row_side:
+        Vst = Vch[:keep, :].conj().T
+        V_new = xb.zeros((size, keep), dtype=dtype)
+        V_new[surv] = Qc @ Vst[:r0]
+        V_new[ins] = Vst[r0:]
+        return LowRankFactor(U=Qd @ (Uc[:, :keep] * s[:keep]), V=V_new)
+    Ust = Uc[:, :keep] * s[:keep]
+    U_new = xb.zeros((size, keep), dtype=dtype)
+    U_new[surv] = Qc @ Ust[:r0]
+    U_new[ins] = Ust[r0:]
+    return LowRankFactor(U=U_new, V=Qd @ Vch[:keep, :].conj().T)
+
+
 # ----------------------------------------------------------------------
 # dispatcher
 # ----------------------------------------------------------------------

@@ -250,6 +250,37 @@ class HODLRMatrix:
         )
 
     # ------------------------------------------------------------------
+    # streaming updates (see :mod:`repro.core.update`)
+    # ------------------------------------------------------------------
+    def update_points(
+        self, source, where, tol: float = 1e-12, max_rank=None, context=None
+    ):
+        """Insert k points; only the O(log N) dirty blocks are recompressed.
+
+        ``source`` evaluates entries over the *new* ordering and ``where``
+        holds the new-ordering indices of the insertions.  Returns a
+        :class:`~repro.core.update.HODLRUpdate` (``.matrix`` is the new
+        matrix; clean blocks are shared by reference).
+        """
+        from .update import update_points as _impl
+
+        return _impl(self, source, where, tol=tol, max_rank=max_rank, context=context)
+
+    def remove_points(self, where, tol: float = 1e-12, max_rank=None, context=None):
+        """Delete k points (old-ordering indices); no evaluator needed."""
+        from .update import remove_points as _impl
+
+        return _impl(self, where, tol=tol, max_rank=max_rank, context=context)
+
+    def move_points(
+        self, source, where, tol: float = 1e-12, max_rank=None, context=None
+    ):
+        """Re-evaluate k points in place (rows and columns at ``where``)."""
+        from .update import move_points as _impl
+
+        return _impl(self, source, where, tol=tol, max_rank=max_rank, context=context)
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def approximation_error(self, dense: np.ndarray, norm: str = "fro") -> float:
@@ -420,9 +451,35 @@ def build_hodlr(
             max_rank=max_rank if max_rank is not None else config.max_rank,
             method=method if method is not None else config.method,
         )
-    if config.construction not in ("batched", "loop"):
+    if config.construction not in ("batched", "loop", "peeling"):
         raise ValueError(
-            f"construction must be 'batched' or 'loop', got {config.construction!r}"
+            "construction must be 'batched', 'loop', or 'peeling', got "
+            f"{config.construction!r}"
+        )
+    if config.construction == "peeling":
+        # matvec-only construction: the source never needs entry evaluation
+        from .peeling import peel_hodlr
+
+        matvec = getattr(source, "matvec", None)
+        rmatvec = getattr(source, "rmatvec", None)
+        if not callable(matvec) or not callable(rmatvec):
+            raise TypeError(
+                "construction='peeling' needs a source exposing matvec and "
+                "rmatvec (e.g. a scipy LinearOperator or HODLROperator)"
+            )
+        if dtype is None:
+            dtype = getattr(source, "dtype", None) or np.float64
+        rank = config.max_rank if config.max_rank is not None else 32
+        return peel_hodlr(
+            matvec,
+            rmatvec,
+            tree,
+            rank=rank,
+            oversampling=config.oversampling,
+            tol=config.tol,
+            rng=config.rng,
+            dtype=context.storage_dtype(dtype),
+            context=context,
         )
 
     if isinstance(source, np.ndarray) or (

@@ -62,12 +62,17 @@ class GatherScatter:
     and must never be written — an unmasked fancy scatter would collide).
     """
 
-    __slots__ = ("idx", "mask", "_flat_idx")
+    __slots__ = ("idx", "mask", "_flat_idx", "_span")
 
     def __init__(self, idx: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
         self.idx = idx
         self.mask = mask
         self._flat_idx = None if mask is None else idx[mask]
+        # (start, stop) when the members are full-width and consecutive in
+        # row order, so gathers/scatters reduce to one contiguous slice
+        # copy instead of a per-row fancy gather (the common case on a
+        # balanced tree); None otherwise
+        self._span: Optional[Tuple[int, int]] = None
 
     @classmethod
     def from_ranges(cls, ranges: Sequence[Tuple[int, int]], width: int) -> "GatherScatter":
@@ -75,14 +80,20 @@ class GatherScatter:
         nb = len(ranges)
         idx = np.zeros((nb, width), dtype=np.intp)
         mask: Optional[np.ndarray] = None
+        contiguous = True
         for j, (start, stop) in enumerate(ranges):
             m = stop - start
             idx[j, :m] = np.arange(start, stop, dtype=np.intp)
+            if m < width or (j > 0 and start != ranges[j - 1][1]):
+                contiguous = False
             if m < width:
                 if mask is None:
                     mask = np.ones((nb, width), dtype=bool)
                 mask[j, m:] = False
-        return cls(idx, mask)
+        gs = cls(idx, mask)
+        if contiguous and nb:
+            gs._span = (int(ranges[0][0]), int(ranges[-1][1]))
+        return gs
 
     @classmethod
     def from_index_sets(cls, sets: Sequence[np.ndarray], width: int) -> "GatherScatter":
@@ -108,6 +119,13 @@ class GatherScatter:
 
     def take(self, x: np.ndarray) -> np.ndarray:
         """Gather ``x`` rows into ``(nb, M, k)`` strided form (padded rows zeroed)."""
+        if self._span is not None:
+            s0, s1 = self._span
+            nb, width = self.idx.shape
+            blk = x[s0:s1].reshape((nb, width) + x.shape[1:])
+            # reshape of a non-contiguous slice already copied; otherwise
+            # copy so callers own the result (fancy indexing always copies)
+            return blk.copy() if blk.base is not None else blk
         out = x[self.idx]
         if self.mask is not None:
             out[~self.mask] = 0
@@ -115,21 +133,30 @@ class GatherScatter:
 
     def put(self, x: np.ndarray, vals: np.ndarray) -> None:
         """Scatter ``vals`` back into ``x`` rows (padded rows discarded)."""
-        if self.mask is None:
+        if self._span is not None:
+            s0, s1 = self._span
+            x[s0:s1] = vals.reshape((s1 - s0,) + x.shape[1:])
+        elif self.mask is None:
             x[self.idx] = vals
         else:
             x[self._flat_idx] = vals[self.mask]
 
     def sub(self, x: np.ndarray, vals: np.ndarray) -> None:
         """``x[rows] -= vals`` (member rows are disjoint, so no collisions)."""
-        if self.mask is None:
+        if self._span is not None:
+            s0, s1 = self._span
+            x[s0:s1] -= vals.reshape((s1 - s0,) + x.shape[1:])
+        elif self.mask is None:
             x[self.idx] -= vals
         else:
             x[self._flat_idx] -= vals[self.mask]
 
     def add(self, x: np.ndarray, vals: np.ndarray) -> None:
         """``x[rows] += vals`` (member rows are disjoint, so no collisions)."""
-        if self.mask is None:
+        if self._span is not None:
+            s0, s1 = self._span
+            x[s0:s1] += vals.reshape((s1 - s0,) + x.shape[1:])
+        elif self.mask is None:
             x[self.idx] += vals
         else:
             x[self._flat_idx] += vals[self.mask]

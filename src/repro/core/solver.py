@@ -44,7 +44,7 @@ import numpy as np
 
 from ..backends.batched import BatchedBackend
 from ..backends.context import ExecutionContext, resolve_context
-from ..backends.counters import KernelTrace
+from ..backends.counters import KernelTrace, get_recorder
 from ..backends.dispatch import ArrayBackend, DispatchPolicy
 from ..backends.perfmodel import ExecutionEstimate, PerformanceModel
 from .bigdata import BigMatrices
@@ -295,6 +295,65 @@ class HODLRSolver:
             self._impl = _VARIANT_FACTORIES[self.variant](self.hodlr, self)
             nbytes = getattr(self._impl, "factorization_nbytes", None)
             self.stats.factorization_bytes = int(nbytes()) if callable(nbytes) else 0
+        self.stats.factor_seconds = time.perf_counter() - t0  # repro-lint: ignore[RL004] -- SolveStats wall-clock reporting, not test timing
+        return self
+
+    def patch_factorize(self, hodlr: HODLRMatrix, dirty_nodes) -> "HODLRSolver":
+        """Absorb an incrementally updated matrix by patching the retained
+        :class:`~repro.core.factor_plan.FactorPlan` instead of refactorizing.
+
+        ``hodlr`` is the updated matrix (same tree topology — node indices
+        unchanged, ranges possibly shifted by an insert/remove) and
+        ``dirty_nodes`` the dirty node set reported by the update
+        (:class:`~repro.core.update.HODLRUpdate.dirty_nodes`).  Only the
+        dirty path is re-factorized — kernel launches scale with the number
+        of dirty shape buckets, not with the total bucket count — and the
+        patched plan is spliced into the existing factorization in place,
+        so subsequent solves replay it with no further work.
+
+        Raises :class:`~repro.core.update.PatchUnsupportedError` when the
+        solver holds no patchable plan (the ``recursive`` variant, a
+        registered baseline variant, or the loop-policy fallback) or when
+        the plan itself cannot absorb the change; callers should fall back
+        to a full :meth:`factorize` of the new matrix.
+        """
+        from .update import PatchUnsupportedError
+
+        impl = self._require_factored()
+        plan = getattr(impl, "factor_plan", None)
+        if plan is None:
+            raise PatchUnsupportedError(
+                f"variant {self.variant!r} holds no compiled FactorPlan to "
+                "patch (recursive/baseline variant or loop-policy fallback); "
+                "refactorize instead"
+            )
+        t0 = time.perf_counter()  # repro-lint: ignore[RL004] -- SolveStats wall-clock reporting, not test timing
+        target = np.dtype(self.hodlr.dtype)
+        hodlr_t = hodlr if np.dtype(hodlr.dtype) == target else hodlr.astype(target)
+        rec = get_recorder()
+        with rec.recording() as trace:
+            patched = plan.patch(hodlr_t, dirty_nodes)
+        # the impl's BigMatrices back the non-plan solve sweep and the
+        # nbytes accounting; the patch already packed the new matrix into
+        # the plan's layout, so adopt that instead of re-running the O(N)
+        # from_hodlr pack
+        data = patched.bigdata
+        if data is None:
+            data = BigMatrices.from_hodlr(
+                hodlr_t,
+                backend=self.backend.array_backend,
+                min_level_ranks=patched.level_ranks,
+            )
+        self.hodlr = hodlr_t
+        self._bigdata = data
+        impl.data = data
+        impl._plan = patched
+        impl._solve_plan = patched.solve_plan()
+        impl.Ybig = patched.Ybig
+        impl._populate_views()
+        if hasattr(impl, "factor_trace"):
+            impl.factor_trace = trace
+        self.stats.factorization_bytes = impl.factorization_nbytes()
         self.stats.factor_seconds = time.perf_counter() - t0  # repro-lint: ignore[RL004] -- SolveStats wall-clock reporting, not test timing
         return self
 

@@ -65,6 +65,8 @@ class LintConfig:
         "src/repro/core/factor_plan.py",
         "src/repro/core/apply_plan.py",
         "src/repro/core/packing.py",
+        "src/repro/core/arithmetic.py",
+        "src/repro/core/update.py",
         "src/repro/backends/batched.py",
     )
     #: RL002 scope: plan/factor storage paths where dtypes must come from
@@ -73,6 +75,8 @@ class LintConfig:
         "src/repro/core/factor_plan.py",
         "src/repro/core/apply_plan.py",
         "src/repro/core/packing.py",
+        "src/repro/core/arithmetic.py",
+        "src/repro/core/update.py",
     )
     #: RL003 project files (the cross-module accounting contract)
     rl003_dispatch: str = "src/repro/backends/dispatch.py"
@@ -97,6 +101,8 @@ class LintConfig:
         "src/repro/backends/parallel.py",
         "src/repro/core/apply_plan.py",
         "src/repro/core/factor_plan.py",
+        "src/repro/core/arithmetic.py",
+        "src/repro/core/update.py",
     )
 
     def resolve(self, relpath: str) -> Path:
